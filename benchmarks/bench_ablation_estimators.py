@@ -1,0 +1,15 @@
+"""Ablation bench: density back-ends feeding the same biased sampler."""
+
+
+def test_ablation_estimators(run_once, bench_scale):
+    result = run_once("ablation-estimator", scale=max(bench_scale, 0.15))
+    table = result.table("estimator back-ends (a=-0.5, 1% sample)")
+    found = dict(zip(table.column("estimator"), table.column("found_of_10")))
+    sizes = dict(zip(table.column("estimator"), table.column("sample_size")))
+    # Every back-end must produce a usable sample near the budget...
+    for name, size in sizes.items():
+        assert size > 0, name
+    # ...and real cluster recovery (the framework is back-end agnostic).
+    assert found["kde_1000"] >= 5
+    assert found["grid_32"] >= 3
+    assert found["knn_k10"] >= 3

@@ -1,0 +1,11 @@
+"""Ablation bench: kernel family sweep."""
+
+
+def test_ablation_kernels(run_once, bench_scale):
+    result = run_once("ablation-kernels", scale=max(bench_scale, 0.15))
+    table = result.table("kernel profiles (a=-0.25, 1% sample, 1000 kernels)")
+    found = dict(zip(table.column("kernel"), table.column("found_of_10")))
+    # Every kernel profile keeps the sampler functional...
+    assert all(value >= 4 for value in found.values()), found
+    # ...and the paper's Epanechnikov choice is competitive with the best.
+    assert found["epanechnikov"] >= max(found.values()) - 2.5

@@ -1,0 +1,20 @@
+"""Ablation bench: two-pass exact vs integrated one-pass sampling."""
+
+
+def test_ablation_onepass(run_once, bench_scale):
+    result = run_once("ablation-onepass", scale=max(bench_scale, 0.15))
+    table = result.table("two-pass vs one-pass (a=-0.5)")
+    rows = dict(zip(table.column("sampler"), table.rows))
+    two_pass = rows["two-pass (exact k)"]
+    one_pass = rows["one-pass (estimated k)"]
+    headers = table.headers
+
+    def field(row, name):
+        return row[headers.index(name)]
+
+    # The exact normaliser keeps the achieved size tight.
+    assert field(two_pass, "size_error_pct") < 15
+    # The one-pass estimate drifts but stays usable.
+    assert field(one_pass, "size_error_pct") < 60
+    # Cluster recovery survives the approximation.
+    assert field(one_pass, "found_of_10") >= field(two_pass, "found_of_10") - 3

@@ -1,0 +1,14 @@
+"""Extension bench: sampled association-rule mining (future work)."""
+
+
+def test_ext_rules(run_once, bench_scale):
+    result = run_once("ext-rules", scale=max(bench_scale, 0.15))
+    table = result.table("sample size sweep (min_support=6%)")
+    recalls = table.column("recall")
+    passes = table.column("full_passes")
+    # Sampling keeps most of the frequent itemsets even at 2% samples,
+    # and the verification budget is always a single full pass.
+    assert min(recalls) >= 0.8
+    assert all(p == 1 for p in passes)
+    # The largest samples should essentially nail the answer.
+    assert max(recalls) >= 0.95

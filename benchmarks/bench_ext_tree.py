@@ -1,0 +1,12 @@
+"""Extension bench: decision trees on weighted biased samples."""
+
+
+def test_ext_tree(run_once, bench_scale):
+    result = run_once("ext-tree", scale=max(bench_scale, 0.15))
+    table = result.table("test accuracy vs training-sample size")
+    full = table.column("full_data")[0]
+    biased = table.column("biased_a0.5_weighted")
+    # A 10% weighted biased sample lands close to full-data accuracy.
+    assert biased[-1] >= full - 0.08
+    # More sample helps (weak monotonicity across the sweep ends).
+    assert biased[-1] >= biased[0] - 0.02

@@ -1,0 +1,25 @@
+"""Bench for Figure 2: pipeline running time vs sample size."""
+
+
+def test_fig2_runtime(run_once, bench_scale):
+    result = run_once("fig2", scale=bench_scale)
+    table = result.table("running time vs sample size")
+
+    sizes = table.column("sample_size")
+    cure = table.column("cure_s")
+    sweeps = table.column("cure_distance_sweeps")
+    sampling = table.column("bs_sampling_s")
+
+    # Hardware-independent: the clusterer's distance-sweep count grows
+    # at least linearly with the sample size (each sweep is itself
+    # O(live pool), so total work is the paper's quadratic).
+    size_ratio = sizes[-1] / sizes[0]
+    assert sweeps[-1] / max(sweeps[0], 1) > 0.8 * size_ratio
+    # Wall time agrees in direction: the largest sample's clustering
+    # clearly costs more than the smallest's.
+    assert cure[-1] > 2.0 * cure[0]
+
+    # The biased pipeline's sampling overhead is an additive constant in
+    # the sample size: flat across the sweep (dominated by the density
+    # evaluation over the full dataset).
+    assert max(sampling) < 3.0 * min(sampling)

@@ -1,0 +1,17 @@
+"""Bench for Figure 3: the CURE dataset1 case study."""
+
+
+def test_fig3_dataset1(run_once, bench_scale):
+    # Figure 3 needs a non-trivial absolute sample; keep a floor.
+    result = run_once("fig3", scale=max(bench_scale, 0.2))
+
+    head = result.table("found clusters at equal sample size")
+    by_method = dict(zip(head.column("method"), head.column("found_of_5")))
+    # The biased sample must beat the uniform one at equal size.
+    assert by_method["biased a=0.5"] >= by_method["uniform"]
+    assert by_method["biased a=0.5"] >= 4
+
+    sweep = result.table("uniform sample size needed to catch up")
+    # Uniform sampling eventually catches up when given a larger sample
+    # (the paper: about twice the biased size).
+    assert max(sweep.column("found_of_5")) >= by_method["biased a=0.5"]

@@ -1,0 +1,21 @@
+"""Bench for Figure 4: found clusters vs noise (a = 1)."""
+
+
+def test_fig4_noise(run_once, bench_scale):
+    result = run_once("fig4", scale=bench_scale)
+
+    for title in ("2 dims, sample 2%", "2 dims, sample 4%",
+                  "3 dims, sample 2%"):
+        table = result.table(title)
+        biased = table.column("biased_a1")
+        uniform = table.column("uniform_cure")
+        # Heavy-noise regime (the last rows, fn >= 60%): biased sampling
+        # must hold up dramatically better than uniform.
+        assert sum(biased[-2:]) > sum(uniform[-2:]), title
+        # Biased sampling stays effective throughout the sweep.
+        assert min(biased) >= 5, title
+
+    # Low-noise 2-D: both sampling methods are healthy (>= 8 of 10).
+    first_rows = result.table("2 dims, sample 2%")
+    assert first_rows.column("biased_a1")[0] >= 8
+    assert first_rows.column("uniform_cure")[0] >= 8

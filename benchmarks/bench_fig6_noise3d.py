@@ -1,0 +1,11 @@
+"""Bench for Figure 6: the 3-D noise sweep at a = 0.5."""
+
+
+def test_fig6_noise3d(run_once, bench_scale):
+    result = run_once("fig6", scale=bench_scale)
+    table = result.table("3 dims, sample 2%, a=0.5")
+    biased = table.column("biased_a0.5")
+    uniform = table.column("uniform_cure")
+    # Same reading as Figure 4(c): biased holds up under heavy noise.
+    assert sum(biased[-2:]) >= sum(uniform[-2:])
+    assert min(biased) >= 5

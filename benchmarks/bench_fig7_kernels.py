@@ -1,0 +1,15 @@
+"""Bench for Figure 7: quality vs number of kernels."""
+
+
+def test_fig7_kernels(run_once, bench_scale):
+    result = run_once("fig7", scale=max(bench_scale, 0.15))
+    table = result.table("found clusters vs kernels")
+
+    for column in ("ds1_50pct_noise_a1", "ds2_20pct_noise_a-0.25"):
+        found = table.column(column)
+        # Many kernels must beat very few: the tail of the sweep
+        # averages above the 100-kernel start.
+        tail = sum(found[-3:]) / 3
+        assert tail >= found[0], column
+        # The recommended operating region reaches a healthy score.
+        assert max(found[-3:]) >= 6, column

@@ -1,0 +1,16 @@
+"""Bench for section 4.3 "Real Datasets": the geospatial stand-ins."""
+
+
+def test_geo(run_once, bench_scale):
+    result = run_once("geo", scale=bench_scale)
+    table = result.table("found metro clusters")
+    for row_name, metros, biased, uniform in zip(
+        table.column("dataset"),
+        table.column("metros"),
+        table.column("biased_a1"),
+        table.column("uniform_cure"),
+    ):
+        # Biased sampling must recover the metro cores at least as well
+        # as uniform sampling, and find most of them.
+        assert biased >= uniform, row_name
+        assert biased >= metros - 1, row_name

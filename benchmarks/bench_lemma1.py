@@ -1,0 +1,16 @@
+"""Bench for Lemma 1: relative-density preservation vs the exponent."""
+
+
+def test_lemma1(run_once, bench_scale):
+    result = run_once("lemma1", scale=bench_scale)
+    table = result.table("density-order preservation vs exponent")
+    preserved = dict(
+        zip(table.column("exponent"),
+            table.column("preserved_pair_fraction"))
+    )
+    # Inside the lemma's regime (a > -1) order survives strongly.
+    for a in (1.0, 0.5, 0.0, -0.25, -0.5):
+        assert preserved[a] >= 0.7, a
+    # Outside the regime it degrades relative to the safe zone.
+    assert preserved[-2.0] <= preserved[-0.25]
+    assert preserved[-1.5] <= preserved[0.0]

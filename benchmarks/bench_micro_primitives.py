@@ -1,0 +1,88 @@
+"""Microbenchmarks for the library's hot primitives.
+
+Unlike the per-figure experiment benches (single-shot pipelines), these
+run many rounds and guard the constants the experiments rely on:
+density evaluation throughput, sampling passes, CURE merges, CF-tree
+insertion, and the exact outlier detectors.
+"""
+
+import numpy as np
+import pytest
+
+from repro.clustering import Birch, CureClustering
+from repro.core import DensityBiasedSampler
+from repro.density import KernelDensityEstimator
+from repro.outliers import IndexedOutlierDetector
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    rng = np.random.default_rng(0)
+    return np.vstack(
+        [
+            rng.normal((0.3, 0.3), 0.05, size=(20_000, 2)),
+            rng.uniform(0.0, 1.0, size=(20_000, 2)),
+        ]
+    )
+
+
+@pytest.fixture(scope="module")
+def fitted_kde(dataset):
+    return KernelDensityEstimator(n_kernels=1000, random_state=0).fit(dataset)
+
+
+def test_kde_fit(benchmark, dataset):
+    benchmark(
+        lambda: KernelDensityEstimator(
+            n_kernels=1000, random_state=0
+        ).fit(dataset)
+    )
+
+
+def test_kde_evaluate_10k(benchmark, fitted_kde, dataset):
+    queries = dataset[:10_000]
+    result = benchmark(lambda: fitted_kde.evaluate(queries))
+    assert result.shape == (10_000,)
+
+
+def test_biased_sampling_end_to_end(benchmark, dataset, fitted_kde):
+    def draw():
+        return DensityBiasedSampler(
+            sample_size=500,
+            exponent=1.0,
+            estimator=fitted_kde,
+            random_state=0,
+        ).sample(dataset)
+
+    sample = benchmark(draw)
+    assert 300 < len(sample) < 700
+
+
+def test_cure_1000_points(benchmark, dataset):
+    pts = dataset[:1000]
+    result = benchmark.pedantic(
+        lambda: CureClustering(n_clusters=10).fit(pts),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.n_clusters == 10
+
+
+def test_birch_insertion_10k(benchmark, dataset):
+    pts = dataset[:10_000]
+    result = benchmark.pedantic(
+        lambda: Birch(n_clusters=10, max_leaf_entries=400).fit(pts),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.n_clusters == 10
+
+
+def test_indexed_outliers_20k(benchmark, dataset):
+    pts = dataset[:20_000]
+    result = benchmark.pedantic(
+        lambda: IndexedOutlierDetector(k=0.01, p=1).detect(pts),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.n_candidates == 20_000

@@ -1,0 +1,22 @@
+"""Bench for section 4.5: approximate DB(p, k) outlier detection."""
+
+
+def test_outliers(run_once, bench_scale):
+    result = run_once("outliers", scale=bench_scale)
+
+    table = result.table("planted-outlier workloads")
+    # The paper's claim: all outliers found within the pass budget.
+    assert all(r == 1.0 for r in table.column("recall"))
+    assert all(p <= 3 for p in table.column("passes"))
+    # Screening must actually screen: candidates far below n.
+    for n, candidates in zip(
+        table.column("n_points"), table.column("candidates")
+    ):
+        assert candidates <= 0.05 * n
+
+    geo = result.table(
+        "geospatial stand-in (NorthEast), agreement with exact detection"
+    )
+    # Verification is exact, so precision is always 1.
+    assert all(p == 1.0 for p in geo.column("precision"))
+    assert all(r >= 0.8 for r in geo.column("recall"))

@@ -1,0 +1,20 @@
+"""Bench for section 4.3 "Varying The Sample Size": saturation points."""
+
+
+def test_sample_size(run_once, bench_scale):
+    result = run_once("samplesize", scale=max(bench_scale, 0.15))
+
+    saturation = result.table("first size reaching the method's plateau")
+    points = dict(
+        zip(saturation.column("method"),
+            saturation.column("saturation_sample_size"))
+    )
+    # The paper: biased sampling saturates no later than uniform
+    # (~1k vs ~2k points on the 100k workload).
+    assert points["biased a=-0.25"] <= points["uniform"]
+
+    sweep = result.table("found clusters vs sample size")
+    biased = sweep.column("biased_a-0.25")
+    # Quality is monotone-ish: the largest samples do at least as well
+    # as the smallest.
+    assert biased[-1] >= biased[0]

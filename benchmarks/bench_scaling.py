@@ -1,0 +1,24 @@
+"""Bench for section 4.3's running-time scaling claims."""
+
+import statistics
+
+
+def test_scaling(run_once, bench_scale):
+    result = run_once("scaling", scale=bench_scale)
+
+    by_size = result.table("varying dataset size (1000 kernels)")
+    ratios = by_size.column("ratio_to_prev")[1:]
+    # Doubling the dataset should roughly double the time (linear).
+    # Wall-clock ratios are noisy under machine load, so judge the
+    # trend: the typical ratio must sit near 2, far from quadratic (~4),
+    # and even the worst single ratio must not look quadratic-squared.
+    assert statistics.median(ratios) < 3.0, ratios
+    assert max(ratios) < 6.0, ratios
+    assert min(ratios) > 1.05, ratios
+
+    by_kernels = result.table("varying kernel count (fixed dataset)")
+    kernel_ratios = by_kernels.column("ratio_to_prev")[1:]
+    # Kernel count doubles each row; density evaluation dominates, so
+    # growth is at most linear-ish in the kernel count.
+    assert statistics.median(kernel_ratios) < 3.0, kernel_ratios
+    assert max(kernel_ratios) < 6.0, kernel_ratios

@@ -1,0 +1,22 @@
+"""Bench for the section-2 analysis (Theorem 1 / Guha bound)."""
+
+
+def test_theorem1(run_once, bench_scale):
+    result = run_once("theorem1", scale=bench_scale)
+
+    example = result.table("the paper's motivating example")
+    fraction = dict(zip(example.column("quantity"), example.column("value")))
+    # The paper's "25% of the dataset" example.
+    assert 0.20 <= fraction["as fraction of dataset"] <= 0.25
+
+    crossover = result.table("biased sample size under rule R")
+    # Theorem 1's iff: prediction and outcome agree on every row.
+    assert crossover.column("beats_uniform") == crossover.column(
+        "theorem1_predicts"
+    )
+    # s_R decreases monotonically in p.
+    ratios = crossover.column("s_R_over_s")
+    assert all(a >= b for a, b in zip(ratios, ratios[1:]))
+
+    mc = result.table("Monte-Carlo check of the guarantee")
+    assert all(v >= 0.9 for v in mc.column("empirical_success"))

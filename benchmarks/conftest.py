@@ -1,0 +1,48 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one paper artifact via the experiment
+harness at a reduced scale (the ``BENCH_SCALE`` environment variable
+overrides it; ``1.0`` reproduces paper-sized workloads). Experiments
+run once per benchmark — they are seconds-long pipelines, not
+microbenchmarks — and attach their result tables to
+``benchmark.extra_info`` so the saved JSON carries the regenerated
+numbers alongside the timings.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+DEFAULT_SCALE = 0.1
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> float:
+    return float(os.environ.get("BENCH_SCALE", DEFAULT_SCALE))
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run an experiment exactly once under the benchmark timer and
+    attach its tables to the benchmark record."""
+
+    def runner(name: str, scale: float, seed: int = 0):
+        from repro.experiments import run_experiment
+
+        result = benchmark.pedantic(
+            lambda: run_experiment(name, scale=scale, seed=seed,
+                                   verbose=False),
+            rounds=1,
+            iterations=1,
+        )
+        benchmark.extra_info["experiment"] = name
+        benchmark.extra_info["scale"] = scale
+        benchmark.extra_info["tables"] = {
+            table.title: {"headers": table.headers, "rows": table.rows}
+            for table in result.tables
+        }
+        return result
+
+    return runner

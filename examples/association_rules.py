@@ -1,0 +1,60 @@
+"""Association-rule mining from transaction samples (future work, §5).
+
+The paper's conclusion proposes extending its sampling framework to
+rule discovery. This example mines a Quest-style basket dataset three
+ways: exact Apriori over all transactions, Toivonen-style uniform
+sampling with a negative-border certificate, and length-biased sampling
+(the basket analogue of density bias) with inverse-probability-
+corrected supports.
+
+Run:  python examples/association_rules.py
+"""
+
+import time
+
+from repro.mining import (
+    apriori,
+    association_rules,
+    make_transaction_dataset,
+    sampled_apriori,
+)
+
+
+def main() -> None:
+    data = make_transaction_dataset(
+        n_transactions=30_000, n_items=150, random_state=11
+    )
+    min_support = 0.06
+    print(f"basket data: {data.n_transactions} transactions over "
+          f"{data.n_items} items, min_support={min_support:.0%}")
+
+    start = time.perf_counter()
+    exact = apriori(data, min_support=min_support)
+    exact_time = time.perf_counter() - start
+    rules = association_rules(exact, min_confidence=0.7)
+    print(f"exact Apriori: {len(exact)} frequent itemsets, "
+          f"{len(rules)} rules at 70% confidence ({exact_time:.2f}s)")
+    print(f"  top rule: {rules[0]}")
+
+    for bias in ("uniform", "length"):
+        start = time.perf_counter()
+        sampled = sampled_apriori(
+            data,
+            min_support=min_support,
+            sample_size=1500,
+            bias=bias,
+            random_state=0,
+        )
+        elapsed = time.perf_counter() - start
+        recall = len(set(sampled.frequent) & set(exact)) / len(exact)
+        certificate = "certified complete" if sampled.certified else (
+            f"{len(sampled.missed_border)} border itemsets turned out "
+            "frequent — rerun or lower the sample threshold"
+        )
+        print(f"{bias:>8} 5% sample: recall {recall:.1%}, "
+              f"1 full pass, border {sampled.border_size} itemsets, "
+              f"{certificate} ({elapsed:.2f}s)")
+
+
+if __name__ == "__main__":
+    main()

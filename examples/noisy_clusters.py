@@ -1,0 +1,49 @@
+"""Finding clusters buried in heavy noise (the Figure 4 scenario).
+
+As the noise fraction climbs toward 80%, a uniform random sample is
+mostly noise and the hierarchical algorithm stops finding the true
+clusters. Density-biased sampling with a positive exponent (a = 1)
+keeps the sample concentrated on the dense regions, so the clusters
+survive. This example sweeps the noise level and prints both curves —
+a miniature of the paper's Figure 4.
+
+Run:  python examples/noisy_clusters.py
+"""
+
+from repro import CureClustering, DensityBiasedSampler, UniformSampler
+from repro.datasets import make_fig4_dataset
+from repro.evaluation import count_found_clusters, noise_fraction_in_sample
+
+
+def found_clusters_on_sample(dataset, sample_points) -> int:
+    if sample_points.shape[0] < 20:
+        return 0
+    clustering = CureClustering(n_clusters=15).fit(sample_points)
+    return count_found_clusters(clustering, dataset.clusters)
+
+
+def main() -> None:
+    sample_size = 800
+    print(f"{'noise':>6}  {'biased a=1':>10}  {'uniform':>8}  "
+          f"{'noise in biased sample':>22}")
+    for noise in (0.1, 0.3, 0.5, 0.8):
+        dataset = make_fig4_dataset(
+            n_dims=2, noise_fraction=noise, n_points=40_000, random_state=1
+        )
+        biased = DensityBiasedSampler(
+            sample_size=sample_size, exponent=1.0, random_state=0
+        ).sample(dataset.points)
+        uniform = UniformSampler(sample_size, random_state=0).sample(
+            dataset.points
+        )
+        print(f"{noise:>6.0%}  "
+              f"{found_clusters_on_sample(dataset, biased.points):>10}  "
+              f"{found_clusters_on_sample(dataset, uniform.points):>8}  "
+              f"{noise_fraction_in_sample(biased, dataset):>22.1%}")
+    print("\nbiased sampling holds its cluster count while uniform "
+          "sampling degrades; the last column shows why — the biased "
+          "sample carries far less noise than the dataset.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Baseline samplers the paper compares against."""
+
+from repro.baselines.palmer import GridBiasedSampler
+
+__all__ = ["GridBiasedSampler"]

@@ -1,0 +1,35 @@
+"""Clustering substrate: the "off the shelf" algorithms of section 3/4.
+
+* :class:`CureClustering` — the hierarchical, representative-point
+  algorithm the paper runs on its samples (Guha et al., SIGMOD 1998).
+* :class:`Birch` — the CF-tree summarisation clusterer used as a
+  non-sampling comparison point (Zhang et al., SIGMOD 1996).
+* :class:`KMeans` / :class:`KMedoids` — partitional algorithms; both
+  accept inverse-probability weights so they can consume biased samples
+  as section 3.1 prescribes.
+* :class:`AgglomerativeClustering` — generic Lance-Williams hierarchical
+  clustering (also BIRCH's global phase).
+"""
+
+from repro.clustering.base import Clusterer, ClusteringResult
+from repro.clustering.kmeans import KMeans
+from repro.clustering.kmedoids import KMedoids
+from repro.clustering.clarans import Clarans
+from repro.clustering.sublinear import SublinearKMedian
+from repro.clustering.hierarchical import AgglomerativeClustering
+from repro.clustering.cure import CureClustering
+from repro.clustering.birch import Birch
+from repro.clustering.assignment import assign_to_clusters
+
+__all__ = [
+    "Clusterer",
+    "ClusteringResult",
+    "KMeans",
+    "KMedoids",
+    "Clarans",
+    "SublinearKMedian",
+    "AgglomerativeClustering",
+    "CureClustering",
+    "Birch",
+    "assign_to_clusters",
+]

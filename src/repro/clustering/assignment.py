@@ -1,0 +1,68 @@
+"""Label the full dataset from a clustering computed on a sample.
+
+After the hierarchical algorithm runs on a (biased) sample, the paper's
+pipeline labels every original point by its nearest cluster — CURE
+assigns by the nearest *representative* point, which respects
+non-spherical shapes better than nearest-center assignment. Both
+policies are offered.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.spatial import cKDTree
+
+from repro.clustering.base import ClusteringResult
+from repro.exceptions import ParameterError
+from repro.utils.streams import DataStream, as_stream
+
+
+def assign_to_clusters(
+    data,
+    result: ClusteringResult,
+    *,
+    policy: str = "representatives",
+    stream: DataStream | None = None,
+) -> np.ndarray:
+    """Nearest-cluster label for every point of ``data``.
+
+    Parameters
+    ----------
+    data:
+        The full dataset (array or :class:`DataStream`); labelling takes
+        one sequential pass.
+    result:
+        A clustering computed on a sample of ``data``.
+    policy:
+        ``"representatives"`` — nearest representative point decides
+        (CURE's rule); ``"centers"`` — nearest cluster center decides.
+
+    Returns
+    -------
+    numpy.ndarray
+        Integer labels of shape ``(len(data),)``.
+    """
+    if policy not in ("representatives", "centers"):
+        raise ParameterError(
+            f"policy must be 'representatives' or 'centers'; got {policy!r}."
+        )
+    if result.n_clusters == 0:
+        raise ParameterError("clustering result has no clusters.")
+    if policy == "centers" or not result.representatives:
+        anchors = result.centers
+        anchor_label = np.arange(result.n_clusters)
+    else:
+        anchors = np.vstack(result.representatives)
+        anchor_label = np.concatenate(
+            [
+                np.full(reps.shape[0], label)
+                for label, reps in enumerate(result.representatives)
+            ]
+        )
+    tree = cKDTree(anchors)
+    source = stream if stream is not None else as_stream(data)
+    labels = np.empty(len(source), dtype=np.int64)
+    for start, chunk in source.iter_with_offsets():
+        _, nearest = tree.query(chunk)
+        labels[start : start + chunk.shape[0]] = anchor_label[nearest]
+    return labels

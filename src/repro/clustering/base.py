@@ -1,0 +1,51 @@
+"""Common result type and interface for clusterers."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class ClusteringResult:
+    """Output shared by every clusterer in the library.
+
+    Attributes
+    ----------
+    labels:
+        Cluster index per input point, shape ``(n,)``. ``-1`` marks
+        points the algorithm treated as noise/unassigned (none of the
+        current algorithms do, but the convention is reserved).
+    centers:
+        One center per cluster (mean of members, or the medoid), shape
+        ``(n_clusters, d)``.
+    representatives:
+        Per-cluster representative point sets. For CURE these are the
+        shrunk well-scattered points the paper's found-cluster criterion
+        inspects; for the other algorithms the center alone.
+    sizes:
+        Number of member points (or, for BIRCH, the summed CF counts).
+    """
+
+    labels: np.ndarray
+    centers: np.ndarray
+    representatives: list[np.ndarray] = field(default_factory=list)
+    sizes: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.int64))
+
+    @property
+    def n_clusters(self) -> int:
+        return self.centers.shape[0]
+
+    def cluster_members(self, cluster: int) -> np.ndarray:
+        """Indices of the input points assigned to ``cluster``."""
+        return np.nonzero(self.labels == cluster)[0]
+
+
+class Clusterer(abc.ABC):
+    """Interface: ``fit(points) -> ClusteringResult``."""
+
+    @abc.abstractmethod
+    def fit(self, points, sample_weight=None) -> ClusteringResult:
+        """Cluster ``points``; optional per-point weights where supported."""

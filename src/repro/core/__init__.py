@@ -1,0 +1,28 @@
+"""The paper's primary contribution: density-biased sampling.
+
+``DensityBiasedSampler`` implements the algorithm of Figure 1 of the
+paper: fit a density estimator in one pass, compute the normaliser
+``k = sum f(x)^a`` in a second pass, and draw each point into the sample
+with probability ``(b/k) * f(x)^a`` in a third. ``OnePassBiasedSampler``
+merges the last two passes at the cost of an approximate normaliser
+(the integration sketched at the end of section 2.2).
+"""
+
+from repro.core.biased import BiasedSample, DensityBiasedSampler
+from repro.core.onepass import OnePassBiasedSampler
+from repro.core.uniform import UniformSampler
+from repro.core.weights import effective_sample_size, inverse_probability_weights
+from repro.core.guide import SamplerRecommendation, recommend_settings
+from repro.core import theory
+
+__all__ = [
+    "BiasedSample",
+    "DensityBiasedSampler",
+    "OnePassBiasedSampler",
+    "UniformSampler",
+    "inverse_probability_weights",
+    "effective_sample_size",
+    "recommend_settings",
+    "SamplerRecommendation",
+    "theory",
+]

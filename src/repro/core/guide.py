@@ -1,0 +1,140 @@
+"""The paper's Practitioner's Guide (section 4.4), as a function.
+
+The experimental evaluation distils into four rules:
+
+* noisy datasets → ``a = 1`` reliably finds the dense clusters;
+* clean datasets with small/sparse clusters → ``a = -0.5`` (and between
+  the two, scale ``a`` toward 0 as noise grows);
+* 1000 kernels estimate the density accurately across workloads;
+* a sample of ~1% of the dataset balances accuracy and cost.
+
+:func:`recommend_settings` encodes those rules so application code can
+ask for a configured sampler instead of memorising the table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ParameterError
+
+TASKS = ("dense-clusters", "small-clusters", "outliers", "coverage")
+
+
+@dataclass(frozen=True)
+class SamplerRecommendation:
+    """A practitioner's-guide configuration.
+
+    Attributes
+    ----------
+    exponent:
+        The bias exponent ``a``.
+    n_kernels:
+        Density-estimator budget.
+    sample_fraction:
+        Recommended expected sample size as a fraction of the data.
+    density_floor_fraction:
+        The empty-space floor (lowered for outlier hunting).
+    rationale:
+        The paper-backed reason for the choice.
+    """
+
+    exponent: float
+    n_kernels: int
+    sample_fraction: float
+    density_floor_fraction: float
+    rationale: str
+
+    def make_sampler(self, n_points: int, random_state=None):
+        """Instantiate a :class:`~repro.core.DensityBiasedSampler`."""
+        from repro.core.biased import DensityBiasedSampler
+        from repro.density.kde import KernelDensityEstimator
+
+        sample_size = max(1, int(self.sample_fraction * n_points))
+        estimator = KernelDensityEstimator(
+            n_kernels=self.n_kernels, random_state=random_state
+        )
+        return DensityBiasedSampler(
+            sample_size=sample_size,
+            exponent=self.exponent,
+            estimator=estimator,
+            density_floor_fraction=self.density_floor_fraction,
+            random_state=random_state,
+        )
+
+
+def recommend_settings(
+    task: str = "dense-clusters",
+    noise_level: float = 0.0,
+) -> SamplerRecommendation:
+    """Settings per section 4.4 of the paper.
+
+    Parameters
+    ----------
+    task:
+        ``"dense-clusters"`` — find the main clusters, robust to noise;
+        ``"small-clusters"`` — recover small/sparse clusters next to
+        dominant ones; ``"outliers"`` — hunt isolated points;
+        ``"coverage"`` — equal expected sample mass per unit volume.
+    noise_level:
+        Expected noise fraction in [0, 1]; interpolates the
+        small-cluster exponent toward 0 as the paper advises ("the
+        lower the overall level of noise, the smaller the value of a").
+
+    Examples
+    --------
+    >>> rec = recommend_settings("dense-clusters", noise_level=0.5)
+    >>> rec.exponent
+    1.0
+    >>> recommend_settings("small-clusters", noise_level=0.0).exponent
+    -0.5
+    >>> recommend_settings("small-clusters", noise_level=0.2).exponent
+    -0.25
+    """
+    if task not in TASKS:
+        raise ParameterError(f"task must be one of {TASKS}; got {task!r}.")
+    if not 0.0 <= noise_level <= 1.0:
+        raise ParameterError(
+            f"noise_level must be in [0, 1]; got {noise_level}."
+        )
+    if task == "dense-clusters":
+        return SamplerRecommendation(
+            exponent=1.0,
+            n_kernels=1000,
+            sample_fraction=0.01,
+            density_floor_fraction=0.05,
+            rationale="for noisy datasets, a=1 allows reliable detection "
+            "of dense clusters (paper section 4.4, first rule)",
+        )
+    if task == "small-clusters":
+        # a = -0.5 with no noise, easing linearly to -0.25 by 20% noise
+        # and toward 0 beyond (the paper's fig 5(a) vs 5(b) reading).
+        exponent = min(-0.5 + 1.25 * noise_level, -0.1)
+        return SamplerRecommendation(
+            exponent=round(exponent, 3),
+            n_kernels=1000,
+            sample_fraction=0.01,
+            density_floor_fraction=0.05,
+            rationale="without noise a=-0.5 detects very small/sparse "
+            "clusters; more noise calls for a closer to 0 (section 4.3, "
+            "clusters with variable densities)",
+        )
+    if task == "outliers":
+        return SamplerRecommendation(
+            exponent=-1.5,
+            n_kernels=1000,
+            sample_fraction=0.01,
+            density_floor_fraction=1e-6,
+            rationale="sampling the very sparse regions surfaces likely "
+            "DB outliers; the low floor lets empty space dominate "
+            "(section 1/3.2 — prefer ApproximateOutlierDetector for "
+            "exact DB(p,k) semantics)",
+        )
+    return SamplerRecommendation(
+        exponent=-1.0,
+        n_kernels=1000,
+        sample_fraction=0.01,
+        density_floor_fraction=0.05,
+        rationale="a=-1 gives the same expected number of sample points "
+        "in any two regions of equal volume (section 2.2, case 4)",
+    )

@@ -1,0 +1,72 @@
+"""Uniform random sampling baselines.
+
+The paper's comparison point (section 4.2): read the dataset size ``N``
+first, then scan once and keep each point with probability ``b/N`` —
+expected sample size ``b``. An exact-size reservoir variant is also
+provided for callers that need a hard budget.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.biased import BiasedSample
+from repro.exceptions import ParameterError
+from repro.utils.streams import DataStream, as_stream
+from repro.utils.validation import check_random_state
+
+
+class UniformSampler:
+    """Uniform (unbiased) random sampling.
+
+    Parameters
+    ----------
+    sample_size:
+        Expected (Bernoulli mode) or exact (reservoir mode) size ``b``.
+    exact_size:
+        When true, use reservoir sampling to return exactly
+        ``sample_size`` rows in one pass.
+    random_state:
+        Seed or generator for the draws.
+    """
+
+    def __init__(
+        self, sample_size: int = 1000, exact_size: bool = False, random_state=None
+    ) -> None:
+        if sample_size < 1:
+            raise ParameterError(f"sample_size must be >= 1; got {sample_size}.")
+        self.sample_size = int(sample_size)
+        self.exact_size = bool(exact_size)
+        self.random_state = random_state
+
+    def sample(self, data, *, stream: DataStream | None = None) -> BiasedSample:
+        """Draw a uniform sample; returns the same result type as the
+        biased sampler so downstream code is sampler-agnostic."""
+        source = stream if stream is not None else as_stream(data)
+        rng = check_random_state(self.random_state)
+        n = len(source)
+        if self.exact_size:
+            indices = rng.choice(n, size=min(self.sample_size, n), replace=False)
+            indices.sort()
+        else:
+            prob = min(1.0, self.sample_size / n)
+            indices = np.nonzero(rng.random(n) < prob)[0]
+        mask = np.zeros(n, dtype=bool)
+        mask[indices] = True
+        parts = []
+        for start, chunk in source.iter_with_offsets():
+            local = mask[start : start + chunk.shape[0]]
+            if local.any():
+                parts.append(chunk[local])
+        points = (
+            np.vstack(parts) if parts else np.empty((0, source.n_dims))
+        )
+        prob = min(1.0, self.sample_size / n)
+        return BiasedSample(
+            points=points,
+            indices=indices,
+            probabilities=np.full(indices.shape[0], prob),
+            exponent=0.0,
+            expected_size=float(self.sample_size),
+            n_source=n,
+        )

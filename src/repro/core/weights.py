@@ -1,0 +1,48 @@
+"""Inverse-probability weighting for biased samples.
+
+Section 3.1: K-means / K-medoids optimise a criterion that weights every
+dataset point equally, so when they run on a *biased* sample "we have to
+weight the sample points with the inverse of the probability that each
+was sampled". These helpers implement that correction and the standard
+effective-sample-size diagnostic for the resulting weight distribution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ParameterError
+
+
+def inverse_probability_weights(probabilities) -> np.ndarray:
+    """Horvitz-Thompson weights ``w_i = 1 / P(i sampled)``.
+
+    >>> inverse_probability_weights([0.5, 0.25]).tolist()
+    [2.0, 4.0]
+    """
+    probs = np.asarray(probabilities, dtype=np.float64)
+    if probs.size and (probs <= 0).any():
+        raise ParameterError("inclusion probabilities must be > 0.")
+    if probs.size and (probs > 1).any():
+        raise ParameterError("inclusion probabilities must be <= 1.")
+    return 1.0 / probs
+
+
+def effective_sample_size(weights) -> float:
+    """Kish effective sample size ``(sum w)^2 / sum w^2``.
+
+    Equals the sample size for uniform weights and shrinks as the weight
+    distribution becomes more skewed; a quick check of how much
+    statistical power a strongly biased sample retains for weighted
+    estimators.
+    """
+    w = np.asarray(weights, dtype=np.float64)
+    if w.size == 0:
+        return 0.0
+    if (w < 0).any():
+        raise ParameterError("weights must be non-negative.")
+    total_sq = w.sum() ** 2
+    sq_total = (w**2).sum()
+    if sq_total == 0:
+        return 0.0
+    return float(total_sq / sq_total)

@@ -1,0 +1,45 @@
+"""Workload generators for the paper's experiments.
+
+The synthetic generator reproduces section 4.1: clusters are
+hyper-rectangles with uniformly distributed interiors, varying shape,
+size and density, plus a configurable fraction of uniform background
+noise. The geospatial and forest modules are parametric stand-ins for
+the real datasets (NorthEast / California postal addresses, UCI Forest
+Cover) that cannot ship with an offline reproduction — see DESIGN.md's
+substitution table.
+"""
+
+from repro.datasets.shapes import Ball, ClusterShape, Ellipsoid, HyperRectangle
+from repro.datasets.synthetic import (
+    SyntheticDataset,
+    ds1_dataset,
+    ds2_dataset,
+    make_clustered_dataset,
+    make_fig4_dataset,
+    make_fig5_dataset,
+)
+from repro.datasets.cure_dataset import cure_dataset1
+from repro.datasets.geospatial import california_dataset, northeast_dataset
+from repro.datasets.forest import forest_cover_dataset
+from repro.datasets.outlier_data import make_outlier_dataset
+from repro.datasets.loaders import load_dataset, save_dataset
+
+__all__ = [
+    "ClusterShape",
+    "HyperRectangle",
+    "Ball",
+    "Ellipsoid",
+    "SyntheticDataset",
+    "make_clustered_dataset",
+    "make_fig4_dataset",
+    "make_fig5_dataset",
+    "ds1_dataset",
+    "ds2_dataset",
+    "cure_dataset1",
+    "northeast_dataset",
+    "california_dataset",
+    "forest_cover_dataset",
+    "make_outlier_dataset",
+    "save_dataset",
+    "load_dataset",
+]

@@ -1,0 +1,97 @@
+"""A regeneration of "dataset1" from the CURE study (Figure 3).
+
+The original dataset (Guha et al., SIGMOD 1998) is not distributable,
+but its published description pins down the structure: one *large*
+circular cluster, two small circles close to each other, two elongated
+ellipses lying side by side, and — crucially — a sparse **chain of
+outliers connecting the two ellipses**. The chain is what defeats a
+small uniform sample: enough chain points survive to bridge the
+ellipses into one cluster, which (at the true k) forces a split
+elsewhere, typically of the big cluster. A density-biased sample with
+``a > 0`` suppresses the sparse chain and the background scatter, so
+the five clusters separate cleanly — the paper's Figure 3(b) vs 3(c).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.shapes import Ball, ClusterShape, Ellipsoid
+from repro.datasets.synthetic import NOISE_LABEL, SyntheticDataset
+from repro.exceptions import ParameterError
+from repro.utils.validation import check_random_state
+
+
+def cure_dataset1(
+    n_points: int = 100_000,
+    noise_fraction: float = 0.04,
+    chain_fraction: float = 0.012,
+    random_state=None,
+) -> SyntheticDataset:
+    """Generate the five-cluster CURE benchmark lookalike.
+
+    Parameters
+    ----------
+    n_points:
+        Total cluster points. The large circle holds over half of them;
+        the ellipses about a sixth each; the two small circles the rest.
+    noise_fraction:
+        Uniform background scatter, as a fraction of ``n_points``.
+    chain_fraction:
+        Points forming the sparse chain between the two ellipses
+        (labelled as noise: they belong to no cluster).
+
+    Examples
+    --------
+    >>> data = cure_dataset1(n_points=5000, random_state=0)
+    >>> data.n_clusters
+    5
+    """
+    if n_points < 100:
+        raise ParameterError(f"n_points must be >= 100; got {n_points}.")
+    rng = check_random_state(random_state)
+
+    clusters: list[ClusterShape] = [
+        Ball(center=(0.26, 0.32), radius=0.19),          # the big circle
+        Ellipsoid(center=(0.50, 0.84), radii=(0.23, 0.05)),  # upper ellipse
+        Ellipsoid(center=(0.50, 0.66), radii=(0.23, 0.05)),  # lower ellipse
+        Ball(center=(0.80, 0.20), radius=0.07),          # small circle A
+        Ball(center=(0.80, 0.42), radius=0.07),          # small circle B
+    ]
+    shares = np.array([0.54, 0.16, 0.16, 0.07, 0.07])
+    counts = (shares * n_points).astype(int)
+    counts[0] += n_points - counts.sum()
+
+    parts = [
+        shape.sample(int(count), rng)
+        for shape, count in zip(clusters, counts)
+    ]
+    labels = [
+        np.full(int(count), label, dtype=np.int64)
+        for label, count in enumerate(counts)
+    ]
+
+    # The chain of outliers between the two ellipses: a vertical string
+    # of sparse points crossing the gap, jittered slightly.
+    n_chain = int(round(chain_fraction * n_points))
+    if n_chain:
+        xs = rng.uniform(0.30, 0.70, size=n_chain)
+        ys = rng.uniform(0.70, 0.80, size=n_chain)
+        chain = np.column_stack([xs, ys])
+        parts.append(chain)
+        labels.append(np.full(n_chain, NOISE_LABEL, dtype=np.int64))
+
+    n_noise = int(round(noise_fraction * n_points))
+    if n_noise:
+        parts.append(rng.random((n_noise, 2)))
+        labels.append(np.full(n_noise, NOISE_LABEL, dtype=np.int64))
+
+    points = np.vstack(parts)
+    label_arr = np.concatenate(labels)
+    order = rng.permutation(points.shape[0])
+    return SyntheticDataset(
+        points=points[order],
+        labels=label_arr[order],
+        clusters=clusters,
+        noise_fraction=noise_fraction + chain_fraction,
+    )

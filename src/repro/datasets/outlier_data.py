@@ -1,0 +1,113 @@
+"""Datasets with planted DB(p, k) outliers for section 4.5.
+
+Clusters provide the dense mass; outliers are planted far from every
+cluster *and* from each other, so that with a radius ``k`` below the
+planting separation each planted point is a genuine DB(p, k) outlier by
+construction. The generator returns the guaranteed radius so tests and
+benchmarks can pick valid (p, k) settings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datasets.synthetic import SyntheticDataset, make_clustered_dataset
+from repro.exceptions import ParameterError
+from repro.utils.validation import check_random_state
+
+
+@dataclass
+class OutlierDataset:
+    """A clustered dataset plus ground-truth planted outliers.
+
+    Attributes
+    ----------
+    points:
+        All points; outliers occupy arbitrary (shuffled) positions.
+    outlier_indices:
+        Row indices of the planted outliers.
+    guaranteed_radius:
+        Any ``k <= guaranteed_radius`` makes every planted point a
+        DB(p, k) outlier for every ``p >= 0``.
+    base:
+        The underlying clustered dataset (for density context).
+    """
+
+    points: np.ndarray
+    outlier_indices: np.ndarray
+    guaranteed_radius: float
+    base: SyntheticDataset
+
+    @property
+    def n_points(self) -> int:
+        return self.points.shape[0]
+
+
+def make_outlier_dataset(
+    n_points: int = 20_000,
+    n_outliers: int = 20,
+    n_clusters: int = 5,
+    n_dims: int = 2,
+    separation: float = 0.08,
+    random_state=None,
+) -> OutlierDataset:
+    """Clusters plus ``n_outliers`` isolated points.
+
+    Outlier positions are rejection-sampled to keep distance at least
+    ``separation`` from every other point (cluster points and other
+    outliers alike).
+
+    >>> data = make_outlier_dataset(n_points=2000, n_outliers=5,
+    ...                             random_state=0)
+    >>> len(data.outlier_indices)
+    5
+    """
+    if n_outliers < 0:
+        raise ParameterError(f"n_outliers must be >= 0; got {n_outliers}.")
+    rng = check_random_state(random_state)
+    base = make_clustered_dataset(
+        n_points=n_points,
+        n_clusters=n_clusters,
+        n_dims=n_dims,
+        noise_fraction=0.0,
+        cluster_volume_fraction=0.03,
+        random_state=rng,
+    )
+    from scipy.spatial import cKDTree
+
+    tree = cKDTree(base.points)
+    outliers: list[np.ndarray] = []
+    attempts = 0
+    sep = separation
+    while len(outliers) < n_outliers:
+        candidate = rng.random(n_dims)
+        d_data, _ = tree.query(candidate)
+        d_out = (
+            min(np.linalg.norm(candidate - o) for o in outliers)
+            if outliers
+            else np.inf
+        )
+        if d_data >= sep and d_out >= sep:
+            outliers.append(candidate)
+        attempts += 1
+        if attempts > 50_000:
+            raise ParameterError(
+                "could not place outliers with the requested separation; "
+                "lower `separation` or `n_outliers`."
+            )
+    outlier_pts = (
+        np.array(outliers) if outliers else np.empty((0, n_dims))
+    )
+    points = np.vstack([base.points, outlier_pts])
+    order = rng.permutation(points.shape[0])
+    inverse = np.empty_like(order)
+    inverse[order] = np.arange(order.shape[0])
+    outlier_indices = np.sort(inverse[base.points.shape[0] :])
+    return OutlierDataset(
+        points=points[order],
+        outlier_indices=outlier_indices,
+        guaranteed_radius=sep * 0.999,
+        base=base,
+    )

@@ -1,0 +1,117 @@
+"""Geometric cluster shapes used by the generators and the evaluation.
+
+Each shape can *sample* uniform points from its interior (generation)
+and answer membership queries (the paper's found-cluster criterion asks
+whether representatives lie "in the interior of the same cluster in the
+synthetic dataset").
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.exceptions import ParameterError
+from repro.utils.geometry import ball_volume
+from repro.utils.validation import check_random_state
+
+
+class ClusterShape(abc.ABC):
+    """A region of space that generated one true cluster."""
+
+    @abc.abstractmethod
+    def contains(self, points: np.ndarray) -> np.ndarray:
+        """Boolean membership mask for each row of ``points``."""
+
+    @abc.abstractmethod
+    def sample(self, n: int, random_state=None) -> np.ndarray:
+        """Draw ``n`` uniform points from the interior."""
+
+    @property
+    @abc.abstractmethod
+    def center(self) -> np.ndarray:
+        """Geometric center of the shape."""
+
+    @property
+    @abc.abstractmethod
+    def volume(self) -> float:
+        """Interior volume."""
+
+
+class HyperRectangle(ClusterShape):
+    """Axis-aligned box — the paper's cluster shape (section 4.1).
+
+    >>> box = HyperRectangle([0.0, 0.0], [1.0, 2.0])
+    >>> bool(box.contains(np.array([[0.5, 1.0]]))[0])
+    True
+    """
+
+    def __init__(self, lows, highs) -> None:
+        self.lows = np.asarray(lows, dtype=np.float64)
+        self.highs = np.asarray(highs, dtype=np.float64)
+        if self.lows.shape != self.highs.shape or self.lows.ndim != 1:
+            raise ParameterError("lows and highs must be 1-D and equal-length.")
+        if (self.highs <= self.lows).any():
+            raise ParameterError("each high must exceed its low.")
+
+    def contains(self, points: np.ndarray) -> np.ndarray:
+        points = np.atleast_2d(points)
+        return ((points >= self.lows) & (points <= self.highs)).all(axis=1)
+
+    def sample(self, n: int, random_state=None) -> np.ndarray:
+        rng = check_random_state(random_state)
+        return rng.uniform(self.lows, self.highs, size=(n, self.lows.shape[0]))
+
+    @property
+    def center(self) -> np.ndarray:
+        return (self.lows + self.highs) / 2.0
+
+    @property
+    def volume(self) -> float:
+        return float(np.prod(self.highs - self.lows))
+
+
+class Ellipsoid(ClusterShape):
+    """Axis-aligned ellipsoid: ``sum_j ((x_j - c_j)/r_j)^2 <= 1``."""
+
+    def __init__(self, center, radii) -> None:
+        self._center = np.asarray(center, dtype=np.float64)
+        self.radii = np.asarray(radii, dtype=np.float64)
+        if self._center.shape != self.radii.shape or self._center.ndim != 1:
+            raise ParameterError("center and radii must be 1-D, equal-length.")
+        if (self.radii <= 0).any():
+            raise ParameterError("radii must be strictly positive.")
+
+    def contains(self, points: np.ndarray) -> np.ndarray:
+        points = np.atleast_2d(points)
+        scaled = (points - self._center) / self.radii
+        return (scaled**2).sum(axis=1) <= 1.0
+
+    def sample(self, n: int, random_state=None) -> np.ndarray:
+        rng = check_random_state(random_state)
+        d = self._center.shape[0]
+        directions = rng.standard_normal((n, d))
+        directions /= np.linalg.norm(directions, axis=1, keepdims=True)
+        radii = rng.random(n) ** (1.0 / d)
+        return self._center + directions * radii[:, None] * self.radii
+
+    @property
+    def center(self) -> np.ndarray:
+        return self._center.copy()
+
+    @property
+    def volume(self) -> float:
+        d = self._center.shape[0]
+        return ball_volume(1.0, d) * float(np.prod(self.radii))
+
+
+class Ball(Ellipsoid):
+    """Euclidean ball: an ellipsoid with equal radii."""
+
+    def __init__(self, center, radius: float) -> None:
+        center = np.asarray(center, dtype=np.float64)
+        if radius <= 0:
+            raise ParameterError(f"radius must be > 0; got {radius}.")
+        super().__init__(center, np.full(center.shape[0], float(radius)))
+        self.radius = float(radius)

@@ -1,0 +1,323 @@
+"""The paper's synthetic cluster generator (section 4.1).
+
+Clusters are hyper-rectangles with uniformly distributed interiors;
+their shape (aspect ratio), size (point count) and average density can
+all vary. Noise is added as uniform points over the whole domain: for a
+clustered dataset ``D`` and noise level ``fn``, ``fn * |D|`` uniform
+points are appended (the paper varies ``fn`` from 5% to 80%).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datasets.shapes import ClusterShape, HyperRectangle
+from repro.exceptions import ParameterError
+from repro.utils.validation import check_fraction, check_random_state
+
+NOISE_LABEL = -1
+
+
+@dataclass
+class SyntheticDataset:
+    """A generated dataset with its ground truth.
+
+    Attributes
+    ----------
+    points:
+        All points (cluster points then noise), shuffled.
+    labels:
+        True generating cluster per point; ``-1`` for noise.
+    clusters:
+        The generating shapes, index-aligned with the labels.
+    noise_fraction:
+        The ``fn`` used at generation time.
+    """
+
+    points: np.ndarray
+    labels: np.ndarray
+    clusters: list[ClusterShape]
+    noise_fraction: float = 0.0
+
+    @property
+    def n_points(self) -> int:
+        return self.points.shape[0]
+
+    @property
+    def n_dims(self) -> int:
+        return self.points.shape[1]
+
+    @property
+    def n_clusters(self) -> int:
+        return len(self.clusters)
+
+    def cluster_sizes(self) -> np.ndarray:
+        """Point count per true cluster (noise excluded)."""
+        sizes = np.zeros(len(self.clusters), dtype=np.int64)
+        for label in range(len(self.clusters)):
+            sizes[label] = int((self.labels == label).sum())
+        return sizes
+
+
+def _random_box(
+    center: np.ndarray,
+    volume: float,
+    rng: np.random.Generator,
+    max_aspect: float,
+) -> HyperRectangle:
+    """A box of the given volume around ``center`` with random aspect."""
+    d = center.shape[0]
+    # Random per-dimension stretch factors with product 1, then scale to
+    # match the requested volume.
+    log_stretch = rng.uniform(-np.log(max_aspect), np.log(max_aspect), size=d)
+    log_stretch -= log_stretch.mean()
+    sides = np.exp(log_stretch) * volume ** (1.0 / d)
+    lows = center - sides / 2.0
+    highs = center + sides / 2.0
+    return HyperRectangle(np.clip(lows, 0.0, 1.0), np.clip(highs, lows + 1e-9, 1.0))
+
+
+def make_clustered_dataset(
+    n_points: int = 100_000,
+    n_clusters: int = 10,
+    n_dims: int = 2,
+    noise_fraction: float = 0.0,
+    density_ratio: float = 1.0,
+    size_ratio: float = 1.0,
+    max_aspect: float = 2.0,
+    cluster_volume_fraction: float = 0.05,
+    correlate_size_density: bool = False,
+    random_state=None,
+) -> SyntheticDataset:
+    """Generate the paper's synthetic workload.
+
+    Parameters
+    ----------
+    n_points:
+        Cluster points (noise is added *on top*, as in the paper).
+    n_clusters:
+        Number of hyper-rectangular clusters (paper: 10 to 100).
+    n_dims:
+        Dimensionality (paper: 2 to 5).
+    noise_fraction:
+        ``fn``: uniform noise points added as a fraction of ``n_points``.
+    density_ratio:
+        Ratio between the densest and sparsest cluster (Figure 5 uses
+        10). Densities are log-spaced across clusters.
+    size_ratio:
+        Ratio between the largest and smallest cluster point count.
+    max_aspect:
+        Maximum per-dimension stretch of a cluster box (non-spherical
+        shapes).
+    cluster_volume_fraction:
+        Total volume of all cluster boxes as a fraction of the unit
+        cube, before density adjustments.
+    correlate_size_density:
+        When true, the smallest clusters are also the sparsest (the
+        Figure 5 scenario: "the size and density of some clusters is
+        very small in relation to other clusters"); when false, sizes
+        and densities are assigned independently at random.
+    random_state:
+        Seed.
+
+    Examples
+    --------
+    >>> data = make_clustered_dataset(n_points=1000, n_clusters=4,
+    ...                               noise_fraction=0.5, random_state=0)
+    >>> data.n_points
+    1500
+    >>> int((data.labels == NOISE_LABEL).sum())
+    500
+    """
+    if n_clusters < 1:
+        raise ParameterError(f"n_clusters must be >= 1; got {n_clusters}.")
+    if n_points < n_clusters:
+        raise ParameterError("n_points must be >= n_clusters.")
+    if density_ratio < 1.0 or size_ratio < 1.0:
+        raise ParameterError("density_ratio and size_ratio must be >= 1.")
+    check_fraction(cluster_volume_fraction, name="cluster_volume_fraction")
+    rng = check_random_state(random_state)
+
+    # Cluster point counts: log-spaced between 1 and size_ratio.
+    weights = np.logspace(0.0, np.log10(size_ratio), n_clusters)
+    # Per-cluster densities: log-spaced between 1 and density_ratio.
+    densities = np.logspace(0.0, np.log10(density_ratio), n_clusters)
+    if correlate_size_density:
+        # Aligned ascending: small clusters are sparse, big ones dense.
+        order = rng.permutation(n_clusters)
+        weights, densities = weights[order], densities[order]
+    else:
+        rng.shuffle(weights)
+        rng.shuffle(densities)
+    counts = np.maximum(1, (n_points * weights / weights.sum()).astype(int))
+    counts[-1] += n_points - counts.sum()  # exact total
+    # Volumes follow from counts and densities, then are rescaled so the
+    # boxes occupy cluster_volume_fraction of the unit cube in total.
+    volumes = counts / densities
+    volumes *= cluster_volume_fraction / volumes.sum()
+
+    centers = _spread_centers(n_clusters, n_dims, volumes, rng)
+    clusters: list[ClusterShape] = []
+    parts: list[np.ndarray] = []
+    labels: list[np.ndarray] = []
+    for label, (center, volume, count) in enumerate(
+        zip(centers, volumes, counts)
+    ):
+        box = _random_box(center, float(volume), rng, max_aspect)
+        clusters.append(box)
+        parts.append(box.sample(int(count), rng))
+        labels.append(np.full(int(count), label, dtype=np.int64))
+
+    n_noise = int(round(noise_fraction * n_points))
+    if n_noise:
+        parts.append(rng.random((n_noise, n_dims)))
+        labels.append(np.full(n_noise, NOISE_LABEL, dtype=np.int64))
+
+    points = np.vstack(parts)
+    label_arr = np.concatenate(labels)
+    order = rng.permutation(points.shape[0])
+    return SyntheticDataset(
+        points=points[order],
+        labels=label_arr[order],
+        clusters=clusters,
+        noise_fraction=noise_fraction,
+    )
+
+
+def _spread_centers(
+    n_clusters: int,
+    n_dims: int,
+    volumes: np.ndarray,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Place cluster centers with best-effort separation.
+
+    Rejection sampling on the pairwise center distance, relaxing the
+    separation requirement if placement keeps failing.
+    """
+    margin = 0.5 * volumes.max() ** (1.0 / n_dims)
+    lo, hi = min(margin, 0.4), 1.0 - min(margin, 0.4)
+    separation = 2.2 * margin
+    centers: list[np.ndarray] = []
+    attempts = 0
+    while len(centers) < n_clusters:
+        candidate = rng.uniform(lo, hi, size=n_dims)
+        ok = all(
+            np.linalg.norm(candidate - c) >= separation for c in centers
+        )
+        if ok:
+            centers.append(candidate)
+        attempts += 1
+        if attempts > 200 * n_clusters:
+            separation *= 0.8
+            attempts = 0
+    return np.array(centers)
+
+
+def add_noise(
+    dataset: SyntheticDataset, noise_fraction: float, random_state=None
+) -> SyntheticDataset:
+    """Return a copy of ``dataset`` with extra uniform noise appended.
+
+    The fraction is relative to the dataset's *cluster* points, matching
+    the paper's definition of ``fn``.
+    """
+    check_fraction(noise_fraction, name="noise_fraction")
+    rng = check_random_state(random_state)
+    n_cluster_pts = int((dataset.labels != NOISE_LABEL).sum())
+    n_noise = int(round(noise_fraction * n_cluster_pts))
+    noise = rng.random((n_noise, dataset.n_dims))
+    points = np.vstack([dataset.points, noise])
+    labels = np.concatenate(
+        [dataset.labels, np.full(n_noise, NOISE_LABEL, dtype=np.int64)]
+    )
+    order = rng.permutation(points.shape[0])
+    return SyntheticDataset(
+        points=points[order],
+        labels=labels[order],
+        clusters=list(dataset.clusters),
+        noise_fraction=dataset.noise_fraction + noise_fraction,
+    )
+
+
+# -- named configurations from the paper ------------------------------------------
+
+
+def make_fig4_dataset(
+    n_dims: int = 2,
+    noise_fraction: float = 0.2,
+    n_points: int = 100_000,
+    random_state=None,
+) -> SyntheticDataset:
+    """Figure 4 workload: 100k points, 10 clusters of different
+    densities, plus ``fn`` noise (5%-80% in the sweep)."""
+    return make_clustered_dataset(
+        n_points=n_points,
+        n_clusters=10,
+        n_dims=n_dims,
+        noise_fraction=noise_fraction,
+        density_ratio=3.0,
+        size_ratio=2.0,
+        random_state=random_state,
+    )
+
+
+def make_fig5_dataset(
+    n_dims: int = 2,
+    noise_fraction: float = 0.1,
+    n_points: int = 100_000,
+    random_state=None,
+) -> SyntheticDataset:
+    """Figure 5 workload: cluster density varying by a factor of 10 with
+    correlated, strongly varying sizes — the small clusters are also the
+    sparse ones, so a uniform sample loses them behind the large dense
+    clusters.
+
+    Cluster extent is held at roughly the same per-attribute side
+    length across dimensionalities (a fixed *volume* fraction would give
+    degenerate near-domain-sized boxes in 5-D).
+    """
+    side = 0.16  # matches the tuned 2-D layout: 10 * 0.16^2 ~ 0.25
+    volume_fraction = min(0.4, 10 * side**n_dims)
+    return make_clustered_dataset(
+        n_points=n_points,
+        n_clusters=10,
+        n_dims=n_dims,
+        noise_fraction=noise_fraction,
+        density_ratio=10.0,
+        size_ratio=20.0,
+        max_aspect=1.5,
+        cluster_volume_fraction=volume_fraction,
+        correlate_size_density=True,
+        random_state=random_state,
+    )
+
+
+def ds1_dataset(n_points: int = 100_000, random_state=None) -> SyntheticDataset:
+    """DS1 of Figure 7: 10 equal-size clusters plus 50% noise."""
+    return make_clustered_dataset(
+        n_points=n_points,
+        n_clusters=10,
+        n_dims=2,
+        noise_fraction=0.5,
+        density_ratio=1.0,
+        size_ratio=1.0,
+        random_state=random_state,
+    )
+
+
+def ds2_dataset(n_points: int = 100_000, random_state=None) -> SyntheticDataset:
+    """DS2 of Figure 7: 10 clusters of very different sizes plus 20%
+    noise (density estimation accuracy matters most here)."""
+    return make_clustered_dataset(
+        n_points=n_points,
+        n_clusters=10,
+        n_dims=2,
+        noise_fraction=0.2,
+        density_ratio=10.0,
+        size_ratio=20.0,
+        correlate_size_density=True,
+        random_state=random_state,
+    )

@@ -1,0 +1,46 @@
+"""Density estimation substrate.
+
+The biased sampler (``repro.core``) only needs an object with the
+:class:`~repro.density.base.DensityEstimator` interface; the paper uses
+kernel density estimation (``KernelDensityEstimator``) but stresses the
+choice is orthogonal, so grid-histogram and k-NN estimators are provided
+as drop-in alternatives (and exercised by the ablation benchmark).
+"""
+
+from repro.density.base import DensityEstimator
+from repro.density.kernels import (
+    Kernel,
+    EpanechnikovKernel,
+    GaussianKernel,
+    UniformKernel,
+    TriangularKernel,
+    BiweightKernel,
+    get_kernel,
+)
+from repro.density.bandwidth import scott_bandwidth, silverman_bandwidth
+from repro.density.kde import KernelDensityEstimator
+from repro.density.histogram import GridDensityEstimator
+from repro.density.knn import KnnDensityEstimator
+from repro.density.wavelet import WaveletDensityEstimator
+from repro.density.dct import DctDensityEstimator
+from repro.density.reservoir import ReservoirSampler, reservoir_sample
+
+__all__ = [
+    "DensityEstimator",
+    "Kernel",
+    "EpanechnikovKernel",
+    "GaussianKernel",
+    "UniformKernel",
+    "TriangularKernel",
+    "BiweightKernel",
+    "get_kernel",
+    "scott_bandwidth",
+    "silverman_bandwidth",
+    "KernelDensityEstimator",
+    "GridDensityEstimator",
+    "KnnDensityEstimator",
+    "WaveletDensityEstimator",
+    "DctDensityEstimator",
+    "ReservoirSampler",
+    "reservoir_sample",
+]

@@ -1,0 +1,117 @@
+"""Abstract interface shared by all density estimators.
+
+The contract follows the paper's definition (section 2.1): a density
+estimator ``f`` for a dataset ``D`` of ``n`` points satisfies, for any
+region ``R``, ``integral_R f ~= |D ∩ R|``. Densities therefore integrate
+to ``n`` over the data domain, *not* to 1 — this normalisation is what
+makes the biased-sampling algebra in the paper work out.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.exceptions import NotFittedError
+from repro.utils.streams import DataStream, as_stream
+
+
+class DensityEstimator(abc.ABC):
+    """Base class: fit on one dataset pass, then evaluate anywhere.
+
+    Subclasses must set ``n_points_`` and ``n_dims_`` during :meth:`fit`
+    and implement :meth:`_evaluate` on raw (unscaled) coordinates.
+    """
+
+    n_points_: int | None = None
+    n_dims_: int | None = None
+
+    @abc.abstractmethod
+    def fit(self, data, *, stream: DataStream | None = None) -> "DensityEstimator":
+        """Fit the estimator in a single pass over the dataset."""
+
+    @abc.abstractmethod
+    def _evaluate(self, points: np.ndarray) -> np.ndarray:
+        """Density at each row of ``points`` (already validated)."""
+
+    # -- public evaluation ---------------------------------------------------
+
+    def evaluate(self, points) -> np.ndarray:
+        """Estimated density at each query point.
+
+        Returns an array of non-negative values that integrate
+        (approximately) to ``n_points_`` over the data domain.
+        """
+        self._require_fitted()
+        points = np.asarray(points, dtype=np.float64)
+        if points.ndim == 1:
+            points = points.reshape(1, -1)
+        if points.shape[1] != self.n_dims_:
+            raise ValueError(
+                f"query points have {points.shape[1]} dims; estimator was "
+                f"fit on {self.n_dims_}."
+            )
+        return self._evaluate(points)
+
+    def __call__(self, points) -> np.ndarray:
+        return self.evaluate(points)
+
+    def ball_mass(
+        self,
+        centers,
+        radius: float,
+        *,
+        n_mc: int = 256,
+        random_state=None,
+    ) -> np.ndarray:
+        """Approximate ``integral_{Ball(c, r)} f`` for each center.
+
+        This is the quantity ``N'_D(O, k)`` of the paper's outlier
+        detector (section 3.2): the expected number of dataset points
+        within distance ``radius`` of each center.
+
+        The default implementation uses Monte-Carlo integration with
+        ``n_mc`` points drawn uniformly from the ball; subclasses with a
+        closed form may override.
+        """
+        from repro.utils.geometry import ball_volume
+        from repro.utils.validation import check_random_state
+
+        self._require_fitted()
+        centers = np.asarray(centers, dtype=np.float64)
+        if centers.ndim == 1:
+            centers = centers.reshape(1, -1)
+        rng = check_random_state(random_state)
+        d = self.n_dims_
+        volume = ball_volume(radius, d)
+        # Uniform sampling in a d-ball: gaussian direction * U^(1/d) radius.
+        directions = rng.standard_normal((n_mc, d))
+        directions /= np.linalg.norm(directions, axis=1, keepdims=True)
+        radii = radius * rng.random(n_mc) ** (1.0 / d)
+        offsets = directions * radii[:, None]
+        masses = np.empty(centers.shape[0])
+        for i, center in enumerate(centers):
+            values = self._evaluate(center[None, :] + offsets)
+            masses[i] = values.mean() * volume
+        return masses
+
+    def total_mass(self) -> float:
+        """The mass the estimator integrates to (== number of points)."""
+        self._require_fitted()
+        return float(self.n_points_)
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _require_fitted(self) -> None:
+        if self.n_points_ is None:
+            raise NotFittedError(
+                f"{type(self).__name__} is not fitted; call fit() first."
+            )
+
+    @staticmethod
+    def _as_stream(data, stream: DataStream | None) -> DataStream:
+        """Resolve the (data, stream) argument pair used by fit()."""
+        if stream is not None:
+            return stream
+        return as_stream(data)

@@ -1,0 +1,138 @@
+"""One-dimensional kernel profiles used in product form.
+
+The multi-dimensional kernel density estimate uses product kernels:
+
+``K_d(u_1..u_d) = prod_j K(u_j)``
+
+with each 1-D profile integrating to one. The paper uses the
+Epanechnikov kernel (optimal mean integrated squared error and cheap to
+evaluate); Gaussian, uniform, triangular and biweight profiles are
+provided for completeness and ablation.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+
+import numpy as np
+
+from repro.exceptions import ParameterError
+
+
+class Kernel(abc.ABC):
+    """A symmetric 1-D kernel profile integrating to one.
+
+    Attributes
+    ----------
+    support:
+        Half-width of the support, ``inf`` for kernels with unbounded
+        support (Gaussian). Profiles are zero outside ``[-support, support]``.
+    canonical_bandwidth:
+        The factor ``delta_0(K)`` that converts a Gaussian-reference
+        bandwidth into this kernel's equivalent bandwidth (see
+        Silverman 1986, section 3.4.2 "canonical kernels").
+    """
+
+    support: float = 1.0
+    canonical_bandwidth: float = 1.0
+    name: str = "kernel"
+
+    @abc.abstractmethod
+    def profile(self, u: np.ndarray) -> np.ndarray:
+        """Kernel value at (already scaled) offsets ``u``."""
+
+    def __call__(self, u) -> np.ndarray:
+        return self.profile(np.asarray(u, dtype=np.float64))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class EpanechnikovKernel(Kernel):
+    """``K(u) = 0.75 (1 - u^2)`` on ``[-1, 1]`` — the paper's choice."""
+
+    support = 1.0
+    canonical_bandwidth = 2.214  # delta_0 relative to the Gaussian kernel
+    name = "epanechnikov"
+
+    def profile(self, u: np.ndarray) -> np.ndarray:
+        out = 0.75 * (1.0 - u * u)
+        return np.where(np.abs(u) <= 1.0, out, 0.0)
+
+
+class GaussianKernel(Kernel):
+    """Standard normal profile; unbounded support."""
+
+    support = math.inf
+    canonical_bandwidth = 1.0
+    name = "gaussian"
+
+    _NORM = 1.0 / math.sqrt(2.0 * math.pi)
+
+    def profile(self, u: np.ndarray) -> np.ndarray:
+        return self._NORM * np.exp(-0.5 * u * u)
+
+
+class UniformKernel(Kernel):
+    """Box profile ``K(u) = 1/2`` on ``[-1, 1]``."""
+
+    support = 1.0
+    canonical_bandwidth = 1.740
+    name = "uniform"
+
+    def profile(self, u: np.ndarray) -> np.ndarray:
+        return np.where(np.abs(u) <= 1.0, 0.5, 0.0)
+
+
+class TriangularKernel(Kernel):
+    """Tent profile ``K(u) = 1 - |u|`` on ``[-1, 1]``."""
+
+    support = 1.0
+    canonical_bandwidth = 2.432
+    name = "triangular"
+
+    def profile(self, u: np.ndarray) -> np.ndarray:
+        out = 1.0 - np.abs(u)
+        return np.where(out > 0.0, out, 0.0)
+
+
+class BiweightKernel(Kernel):
+    """Quartic profile ``K(u) = 15/16 (1 - u^2)^2`` on ``[-1, 1]``."""
+
+    support = 1.0
+    canonical_bandwidth = 2.623
+    name = "biweight"
+
+    def profile(self, u: np.ndarray) -> np.ndarray:
+        w = 1.0 - u * u
+        out = (15.0 / 16.0) * w * w
+        return np.where(np.abs(u) <= 1.0, out, 0.0)
+
+
+_KERNELS: dict[str, type[Kernel]] = {
+    cls.name: cls
+    for cls in (
+        EpanechnikovKernel,
+        GaussianKernel,
+        UniformKernel,
+        TriangularKernel,
+        BiweightKernel,
+    )
+}
+
+
+def get_kernel(kernel: str | Kernel) -> Kernel:
+    """Resolve a kernel name or instance to a :class:`Kernel`.
+
+    >>> get_kernel("epanechnikov").name
+    'epanechnikov'
+    """
+    if isinstance(kernel, Kernel):
+        return kernel
+    try:
+        return _KERNELS[kernel]()
+    except KeyError:
+        raise ParameterError(
+            f"unknown kernel {kernel!r}; choose from {sorted(_KERNELS)}."
+        ) from None

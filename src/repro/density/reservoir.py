@@ -1,0 +1,79 @@
+"""Reservoir sampling (Vitter's Algorithm R) over data streams.
+
+The kernel density estimator picks its kernel centers as a uniform random
+sample of the dataset, collected *during* the single fit pass — reservoir
+sampling is what makes that possible without knowing ``n`` up front.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.streams import DataStream, as_stream
+from repro.utils.validation import check_random_state
+
+
+class ReservoirSampler:
+    """Maintains a uniform sample of fixed capacity over a stream.
+
+    Feed chunks with :meth:`extend`; at any moment :attr:`sample` is a
+    uniform random subset (without replacement) of everything seen.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of rows retained.
+    random_state:
+        Seed or generator controlling replacement decisions.
+    """
+
+    def __init__(self, capacity: int, random_state=None) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1; got {capacity}.")
+        self.capacity = int(capacity)
+        self._rng = check_random_state(random_state)
+        self._reservoir: np.ndarray | None = None
+        self._filled = 0
+        self.n_seen = 0
+
+    def extend(self, chunk) -> None:
+        """Offer a chunk of rows to the reservoir."""
+        chunk = np.atleast_2d(np.asarray(chunk, dtype=np.float64))
+        for row in chunk:
+            self._offer(row)
+
+    def _offer(self, row: np.ndarray) -> None:
+        if self._reservoir is None:
+            self._reservoir = np.empty((self.capacity, row.shape[0]))
+        self.n_seen += 1
+        if self._filled < self.capacity:
+            self._reservoir[self._filled] = row
+            self._filled += 1
+            return
+        # Classic Algorithm R: element i (1-based) replaces a random slot
+        # with probability capacity / i.
+        slot = self._rng.integers(0, self.n_seen)
+        if slot < self.capacity:
+            self._reservoir[slot] = row
+
+    @property
+    def sample(self) -> np.ndarray:
+        """The current reservoir contents, shape ``(min(n, capacity), d)``."""
+        if self._reservoir is None:
+            return np.empty((0, 0))
+        return self._reservoir[: self._filled].copy()
+
+
+def reservoir_sample(
+    data, size: int, random_state=None, *, stream: DataStream | None = None
+) -> np.ndarray:
+    """One-shot uniform sample of ``size`` rows in a single pass.
+
+    Accepts an array or an existing :class:`DataStream` (pass counting
+    then reflects the extra pass this sample costs).
+    """
+    source = stream if stream is not None else as_stream(data)
+    sampler = ReservoirSampler(size, random_state=random_state)
+    for chunk in source:
+        sampler.extend(chunk)
+    return sampler.sample

@@ -1,0 +1,33 @@
+"""Evaluation criteria from section 4 of the paper."""
+
+from repro.evaluation.cluster_match import (
+    birch_found_clusters,
+    count_found_clusters,
+    found_clusters,
+)
+from repro.evaluation.agreement import (
+    adjusted_rand_index,
+    contingency_table,
+    normalized_mutual_information,
+    purity,
+)
+from repro.evaluation.metrics import (
+    density_order_preservation,
+    noise_fraction_in_sample,
+    outlier_precision_recall,
+    sample_share_per_cluster,
+)
+
+__all__ = [
+    "found_clusters",
+    "count_found_clusters",
+    "birch_found_clusters",
+    "outlier_precision_recall",
+    "density_order_preservation",
+    "noise_fraction_in_sample",
+    "sample_share_per_cluster",
+    "adjusted_rand_index",
+    "normalized_mutual_information",
+    "purity",
+    "contingency_table",
+]

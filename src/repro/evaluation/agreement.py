@@ -1,0 +1,96 @@
+"""Label-agreement metrics: ARI, NMI, purity.
+
+Complementary to the paper's found-cluster criterion: where that
+criterion asks "did we locate the true regions?", these compare full
+point-level label assignments — useful once
+:func:`~repro.clustering.assignment.assign_to_clusters` has labelled
+the whole dataset from a clustered sample. Points labelled ``-1``
+(noise / eliminated) in *either* labelling are excluded, matching the
+convention of the generators and of CURE's outlier removal.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ParameterError
+
+
+def _paired_labels(truth, predicted) -> tuple[np.ndarray, np.ndarray]:
+    a = np.asarray(truth, dtype=np.int64)
+    b = np.asarray(predicted, dtype=np.int64)
+    if a.shape != b.shape or a.ndim != 1:
+        raise ParameterError(
+            "truth and predicted must be 1-D arrays of equal length."
+        )
+    keep = (a >= 0) & (b >= 0)
+    if not keep.any():
+        raise ParameterError("no points remain after removing noise labels.")
+    return a[keep], b[keep]
+
+
+def contingency_table(truth, predicted) -> np.ndarray:
+    """Counts of points per (true cluster, predicted cluster) pair."""
+    a, b = _paired_labels(truth, predicted)
+    n_a = int(a.max()) + 1
+    n_b = int(b.max()) + 1
+    table = np.zeros((n_a, n_b), dtype=np.int64)
+    np.add.at(table, (a, b), 1)
+    return table
+
+
+def adjusted_rand_index(truth, predicted) -> float:
+    """Hubert-Arabie adjusted Rand index in [-1, 1]; 1 = identical
+    partitions, ~0 = chance agreement.
+
+    >>> adjusted_rand_index([0, 0, 1, 1], [1, 1, 0, 0])
+    1.0
+    """
+    table = contingency_table(truth, predicted)
+    n = table.sum()
+
+    def comb2(x):
+        return x * (x - 1) / 2.0
+
+    sum_cells = comb2(table).sum()
+    sum_rows = comb2(table.sum(axis=1)).sum()
+    sum_cols = comb2(table.sum(axis=0)).sum()
+    expected = sum_rows * sum_cols / comb2(n) if n > 1 else 0.0
+    max_index = (sum_rows + sum_cols) / 2.0
+    if max_index == expected:
+        return 1.0  # both partitions trivial (single cluster each)
+    return float((sum_cells - expected) / (max_index - expected))
+
+
+def normalized_mutual_information(truth, predicted) -> float:
+    """NMI with arithmetic-mean normalisation, in [0, 1].
+
+    >>> normalized_mutual_information([0, 0, 1, 1], [0, 0, 1, 1])
+    1.0
+    """
+    table = contingency_table(truth, predicted).astype(np.float64)
+    n = table.sum()
+    joint = table / n
+    p_a = joint.sum(axis=1)
+    p_b = joint.sum(axis=0)
+    nz = joint > 0
+    mutual = float(
+        (joint[nz] * np.log(joint[nz] / np.outer(p_a, p_b)[nz])).sum()
+    )
+    h_a = float(-(p_a[p_a > 0] * np.log(p_a[p_a > 0])).sum())
+    h_b = float(-(p_b[p_b > 0] * np.log(p_b[p_b > 0])).sum())
+    denom = (h_a + h_b) / 2.0
+    if denom == 0.0:
+        return 1.0
+    return max(0.0, min(1.0, mutual / denom))
+
+
+def purity(truth, predicted) -> float:
+    """Fraction of points whose predicted cluster's majority true
+    cluster matches their own true cluster.
+
+    >>> purity([0, 0, 1, 1], [0, 0, 0, 1])
+    0.75
+    """
+    table = contingency_table(truth, predicted)
+    return float(table.max(axis=0).sum() / table.sum())

@@ -1,0 +1,70 @@
+"""The paper's found-cluster criteria (section 4.3).
+
+For the hierarchical algorithm: "a cluster is found if at least 90% of
+its representative points are in the interior of the same cluster in the
+synthetic dataset". For BIRCH, which reports centers and radii: "if it
+reports a cluster center that lies in the interior of a cluster in the
+synthetic dataset, we assume that this cluster is found".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.clustering.base import ClusteringResult
+from repro.datasets.shapes import ClusterShape
+from repro.exceptions import ParameterError
+from repro.utils.validation import check_fraction
+
+
+def found_clusters(
+    result: ClusteringResult,
+    true_clusters: list[ClusterShape],
+    threshold: float = 0.9,
+) -> set[int]:
+    """True-cluster indices found by a representative-based clustering.
+
+    A found cluster "claims" true cluster ``t`` when at least
+    ``threshold`` of its representatives fall inside ``t``. Returns the
+    set of distinct claimed true clusters — a found cluster whose
+    representatives straddle several true clusters (a merge mistake)
+    claims none, and several found clusters claiming the same true
+    cluster (a split mistake) count once.
+    """
+    check_fraction(threshold, name="threshold")
+    if not true_clusters:
+        raise ParameterError("true_clusters must be non-empty.")
+    claimed: set[int] = set()
+    for reps in result.representatives:
+        if reps.shape[0] == 0:
+            continue
+        for t_idx, shape in enumerate(true_clusters):
+            inside = shape.contains(reps).mean()
+            if inside >= threshold:
+                claimed.add(t_idx)
+                break
+    return claimed
+
+
+def count_found_clusters(
+    result: ClusteringResult,
+    true_clusters: list[ClusterShape],
+    threshold: float = 0.9,
+) -> int:
+    """``len(found_clusters(...))`` — the y-axis of Figures 4-7."""
+    return len(found_clusters(result, true_clusters, threshold))
+
+
+def birch_found_clusters(
+    result: ClusteringResult, true_clusters: list[ClusterShape]
+) -> set[int]:
+    """True clusters found under the BIRCH criterion (center inside)."""
+    if not true_clusters:
+        raise ParameterError("true_clusters must be non-empty.")
+    claimed: set[int] = set()
+    for center in np.atleast_2d(result.centers):
+        for t_idx, shape in enumerate(true_clusters):
+            if bool(shape.contains(center[None, :])[0]):
+                claimed.add(t_idx)
+                break
+    return claimed

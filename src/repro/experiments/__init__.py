@@ -1,0 +1,39 @@
+"""Experiment harness: one registered experiment per paper artifact.
+
+``python -m repro list`` shows the registry; ``python -m repro run
+<id>`` executes one experiment and prints its tables. Every experiment
+accepts a ``scale`` (dataset-size multiplier relative to the paper's
+setup) and a ``seed``; EXPERIMENTS.md records the settings used for the
+checked-in results.
+"""
+
+from repro.experiments.registry import EXPERIMENTS, experiment, get_experiment
+from repro.experiments.reporting import ExperimentResult, Table
+from repro.experiments.runner import run_experiment
+
+# Importing the modules below populates the registry.
+from repro.experiments import (  # noqa: F401  (registration side effects)
+    ablations,
+    extensions,
+    fig2,
+    fig3,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    geo,
+    lemma1,
+    outlier_exp,
+    samplesize,
+    scaling,
+    theorem1,
+)
+
+__all__ = [
+    "EXPERIMENTS",
+    "experiment",
+    "get_experiment",
+    "run_experiment",
+    "ExperimentResult",
+    "Table",
+]

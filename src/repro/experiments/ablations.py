@@ -1,0 +1,176 @@
+"""Ablation experiments for the design choices DESIGN.md calls out.
+
+* ``ablation-estimator`` — the paper argues kernel estimators are the
+  best density back-end but the framework is estimator-agnostic
+  (section 2.2). Swap the KDE for the exact grid histogram and the k-NN
+  estimator and measure cluster recovery and sampling time.
+* ``ablation-onepass`` — the integrated single-pass sampler trades the
+  exact normaliser for one fewer pass; measure the achieved-size error
+  and whether sample quality survives.
+* ``ablation-kernels`` — the paper fixes the Epanechnikov kernel;
+  sweep the kernel family at fixed budget and confirm the choice is a
+  constant-factor concern, not a correctness one.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core import DensityBiasedSampler, OnePassBiasedSampler
+from repro.datasets import make_fig5_dataset
+from repro.density import (
+    GridDensityEstimator,
+    KernelDensityEstimator,
+    KnnDensityEstimator,
+)
+from repro.experiments._common import cure_found, scaled
+from repro.experiments.registry import experiment
+from repro.experiments.reporting import ExperimentResult
+
+
+@experiment(
+    "ablation-estimator",
+    "KDE vs grid histogram vs k-NN density back-ends",
+    "design choice (section 2.2: estimators are pluggable)",
+)
+def run_estimators(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
+    result = ExperimentResult(
+        name="ablation-estimator",
+        description="same biased-sampling task, three density back-ends",
+    )
+    dataset = make_fig5_dataset(
+        n_dims=2,
+        noise_fraction=0.1,
+        n_points=scaled(100_000, scale, minimum=10_000),
+        random_state=seed,
+    )
+    sample_size = max(300, int(0.01 * dataset.n_points))
+    table = result.new_table(
+        "estimator back-ends (a=-0.5, 1% sample)",
+        ["estimator", "found_of_10", "sampling_seconds", "sample_size"],
+    )
+    backends = (
+        ("kde_1000", KernelDensityEstimator(n_kernels=1000, random_state=seed)),
+        ("grid_32", GridDensityEstimator(bins_per_dim=32)),
+        ("knn_k10", KnnDensityEstimator(n_sample=1000, k=10, random_state=seed)),
+    )
+    for name, estimator in backends:
+        start = time.perf_counter()
+        sample = DensityBiasedSampler(
+            sample_size=sample_size,
+            exponent=-0.5,
+            estimator=estimator,
+            random_state=seed,
+        ).sample(dataset.points)
+        elapsed = time.perf_counter() - start
+        found = cure_found(dataset, sample.points, n_clusters=10)
+        table.add_row(name, found, elapsed, len(sample))
+    result.notes.append(
+        "the framework is estimator-agnostic; the paper prefers kernels "
+        "for accuracy at a fixed summary size."
+    )
+    return result
+
+
+@experiment(
+    "ablation-onepass",
+    "exact two-pass sampler vs integrated one-pass variant",
+    "section 2.2 closing remark",
+)
+def run_onepass(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
+    result = ExperimentResult(
+        name="ablation-onepass",
+        description="pass count vs normaliser accuracy trade-off",
+    )
+    dataset = make_fig5_dataset(
+        n_dims=2,
+        noise_fraction=0.1,
+        n_points=scaled(100_000, scale, minimum=10_000),
+        random_state=seed,
+    )
+    target = max(300, int(0.01 * dataset.n_points))
+    table = result.new_table(
+        "two-pass vs one-pass (a=-0.5)",
+        [
+            "sampler",
+            "target_size",
+            "achieved_size",
+            "size_error_pct",
+            "found_of_10",
+        ],
+    )
+    for name, sampler in (
+        (
+            "two-pass (exact k)",
+            DensityBiasedSampler(
+                sample_size=target, exponent=-0.5, random_state=seed
+            ),
+        ),
+        (
+            "one-pass (estimated k)",
+            OnePassBiasedSampler(
+                sample_size=target, exponent=-0.5, random_state=seed
+            ),
+        ),
+    ):
+        sample = sampler.sample(dataset.points)
+        error = abs(len(sample) - target) / target * 100
+        table.add_row(
+            name,
+            target,
+            len(sample),
+            error,
+            cure_found(dataset, sample.points, n_clusters=10),
+        )
+    result.notes.append(
+        "the one-pass variant only approximates the sampling probability "
+        "(its normaliser comes from the kernel centers), so its achieved "
+        "size drifts from the target while cluster recovery holds."
+    )
+    return result
+
+
+@experiment(
+    "ablation-kernels",
+    "kernel family sweep at a fixed 1000-kernel budget",
+    "design choice (section 2.2: Epanechnikov kernel)",
+)
+def run_kernels(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
+    result = ExperimentResult(
+        name="ablation-kernels",
+        description="same sampling task across kernel profiles",
+    )
+    dataset = make_fig5_dataset(
+        n_dims=2,
+        noise_fraction=0.1,
+        n_points=scaled(100_000, scale, minimum=10_000),
+        random_state=seed,
+    )
+    sample_size = max(300, int(0.01 * dataset.n_points))
+    table = result.new_table(
+        "kernel profiles (a=-0.25, 1% sample, 1000 kernels)",
+        ["kernel", "found_of_10", "sampling_seconds"],
+    )
+    for kernel in ("epanechnikov", "gaussian", "uniform", "triangular",
+                   "biweight"):
+        start = time.perf_counter()
+        found = []
+        for offset in range(2):
+            estimator = KernelDensityEstimator(
+                n_kernels=1000, kernel=kernel, random_state=seed + offset
+            )
+            sample = DensityBiasedSampler(
+                sample_size=sample_size,
+                exponent=-0.25,
+                estimator=estimator,
+                random_state=seed + offset,
+            ).sample(dataset.points)
+            found.append(cure_found(dataset, sample.points, n_clusters=10))
+        elapsed = (time.perf_counter() - start) / 2
+        table.add_row(kernel, round(sum(found) / 2, 2), elapsed)
+    result.notes.append(
+        "all profiles support the sampler; compact-support kernels "
+        "(the paper's Epanechnikov) evaluate fastest, the Gaussian "
+        "never assigns exactly-zero density."
+    )
+    return result

@@ -1,0 +1,104 @@
+"""Figure 2: running time of the clustering pipeline vs sample size.
+
+The paper draws samples of 1,000-19,000 points from a 1M-point dataset
+(1000 kernels) and plots the total running time of BS-CURE (density
+estimation + sampling passes + hierarchical clustering of the biased
+sample) against RS-CURE (scan + hierarchical clustering of the uniform
+sample). Both curves grow quadratically with the sample size; the
+sampling overhead of BS-CURE is a constant additive cost, and because a
+biased sample of half the size matches the cluster quality of a uniform
+sample (Figure 3 / Theorem 1), BS-CURE reaches equal quality roughly 4x
+faster.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.clustering import CureClustering
+from repro.core import DensityBiasedSampler, UniformSampler
+from repro.datasets import make_clustered_dataset
+from repro.density import KernelDensityEstimator
+from repro.experiments._common import scaled
+from repro.experiments.registry import experiment
+from repro.experiments.reporting import ExperimentResult
+
+_PAPER_N = 1_000_000
+_PAPER_SWEEP = (1000, 3000, 5000, 7000, 9000, 11000)
+
+
+@experiment(
+    "fig2",
+    "clustering pipeline running time, biased vs uniform sampling",
+    "Figure 2",
+)
+def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
+    result = ExperimentResult(
+        name="fig2",
+        description="total running time (seconds) of BS-CURE vs RS-CURE "
+        "as a function of the sample size",
+    )
+    n_points = scaled(_PAPER_N, scale)
+    dataset = make_clustered_dataset(
+        n_points=n_points,
+        n_clusters=10,
+        n_dims=2,
+        noise_fraction=0.1,
+        random_state=seed,
+    )
+    table = result.new_table(
+        "running time vs sample size",
+        [
+            "sample_size",
+            "bs_cure_s",
+            "rs_cure_s",
+            "bs_sampling_s",
+            "cure_s",
+            "cure_distance_sweeps",
+        ],
+    )
+    for paper_size in _PAPER_SWEEP:
+        b = scaled(paper_size, scale, minimum=50)
+        bs_total, bs_sampling, bs_cure, sweeps = _time_biased(
+            dataset.points, b, seed
+        )
+        rs_total = _time_uniform(dataset.points, b, seed)
+        table.add_row(b, bs_total, rs_total, bs_sampling, bs_cure, sweeps)
+    result.notes.append(
+        "the paper's reading: both curves are quadratic in the sample "
+        "size; biased sampling adds a near-constant overhead (density fit "
+        "+ two passes) which is offset because half the sample size gives "
+        "the same quality (Figure 3). cure_distance_sweeps counts "
+        "vectorised representative-pool scans — the hardware-independent "
+        "view of the same growth."
+    )
+    return result
+
+
+def _time_biased(
+    points, b: int, seed: int
+) -> tuple[float, float, float, int]:
+    start = time.perf_counter()
+    estimator = KernelDensityEstimator(n_kernels=1000, random_state=seed)
+    sample = DensityBiasedSampler(
+        sample_size=b, exponent=0.5, estimator=estimator, random_state=seed
+    ).sample(points)
+    sampled = time.perf_counter()
+    clusterer = CureClustering(n_clusters=10)
+    clusterer.fit(sample.points)
+    done = time.perf_counter()
+    # Distance sweeps are the hardware-independent work measure: each is
+    # one vectorised representative-pool scan (see CureClustering).
+    return (
+        done - start,
+        sampled - start,
+        done - sampled,
+        clusterer.n_distance_sweeps_,
+    )
+
+
+def _time_uniform(points, b: int, seed: int) -> float:
+    start = time.perf_counter()
+    sample = UniformSampler(b, random_state=seed).sample(points)
+    CureClustering(n_clusters=10).fit(sample.points)
+    return time.perf_counter() - start

@@ -1,0 +1,68 @@
+"""Figure 4: found clusters vs noise level, oversampling dense regions.
+
+100k points in 10 clusters of different densities; noise ``fn`` sweeps
+5%-80%. Biased sampling with ``a = 1`` keeps finding (nearly) all 10
+clusters deep into the noise range, uniform sampling degrades quickly,
+and BIRCH sits in between (insensitive to noise but blind to some
+clusters). Three panels: 2-D at 2% and 4% samples, 3-D at 2%.
+"""
+
+from __future__ import annotations
+
+from repro.datasets import make_fig4_dataset
+from repro.experiments._common import (
+    run_biased,
+    run_birch,
+    run_uniform,
+    scaled,
+)
+from repro.experiments.registry import experiment
+from repro.experiments.reporting import ExperimentResult
+
+_PAPER_N = 100_000
+NOISE_LEVELS = (0.05, 0.1, 0.2, 0.4, 0.6, 0.8)
+_PANELS = (
+    ("2 dims, sample 2%", 2, 0.02),
+    ("2 dims, sample 4%", 2, 0.04),
+    ("3 dims, sample 2%", 3, 0.02),
+)
+
+
+@experiment(
+    "fig4",
+    "found clusters vs noise: biased a=1 vs uniform vs BIRCH",
+    "Figure 4(a)(b)(c)",
+)
+def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
+    result = ExperimentResult(
+        name="fig4",
+        description="clusters found (of 10) as noise grows from 5% to 80%",
+    )
+    n_points = scaled(_PAPER_N, scale, minimum=5000)
+    for title, n_dims, fraction in _PANELS:
+        table = result.new_table(
+            title,
+            ["noise_pct", "biased_a1", "uniform_cure", "birch"],
+        )
+        for noise in NOISE_LEVELS:
+            dataset = make_fig4_dataset(
+                n_dims=n_dims,
+                noise_fraction=noise,
+                n_points=n_points,
+                random_state=seed,
+            )
+            budget = max(50, int(fraction * dataset.n_points))
+            table.add_row(
+                int(noise * 100),
+                run_biased(dataset, budget, exponent=1.0, n_clusters=10,
+                           seed=seed, n_seeds=3),
+                run_uniform(dataset, budget, n_clusters=10, seed=seed,
+                            n_seeds=3),
+                run_birch(dataset, budget, n_clusters=10),
+            )
+    result.notes.append(
+        "paper's shape: biased a=1 finds all 10 clusters up to ~70% "
+        "noise; uniform drops off well before; BIRCH is noise-robust but "
+        "misses small clusters throughout."
+    )
+    return result

@@ -1,0 +1,97 @@
+"""Figure 5: variable-density clusters, oversampling sparse regions.
+
+100k points in 10 clusters whose densities differ by a factor of 10;
+small sparse clusters get too few points in a uniform sample and are
+dismissed. Biased sampling with ``-0.5 <= a <= -0.25`` inflates them in
+the sample while Lemma 1 keeps the dense clusters dense. The sweep is
+over the sample size (0.5%-5%); panel (c) runs in 5 dimensions and adds
+the Palmer-Faloutsos grid sampler (e = -0.5) with its 5 MB hash table.
+"""
+
+from __future__ import annotations
+
+from repro.datasets import make_fig5_dataset
+from repro.experiments._common import (
+    run_biased,
+    run_birch,
+    run_grid,
+    run_uniform,
+    scaled,
+)
+from repro.experiments.registry import experiment
+from repro.experiments.reporting import ExperimentResult
+
+_PAPER_N = 100_000
+SAMPLE_FRACTIONS = (0.005, 0.01, 0.02, 0.03, 0.05)
+
+
+@experiment(
+    "fig5",
+    "finding variable-density clusters vs sample size",
+    "Figure 5(a)(b)(c)",
+)
+def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
+    result = ExperimentResult(
+        name="fig5",
+        description="clusters found (of 10) when cluster densities vary "
+        "10x, as the sample grows",
+    )
+    n_points = scaled(_PAPER_N, scale, minimum=5000)
+
+    for title, n_dims, noise in (
+        ("2 dims, 10% noise", 2, 0.1),
+        ("2 dims, 20% noise", 2, 0.2),
+    ):
+        dataset = make_fig5_dataset(
+            n_dims=n_dims,
+            noise_fraction=noise,
+            n_points=n_points,
+            random_state=seed,
+        )
+        table = result.new_table(
+            title,
+            [
+                "sample_pct",
+                "biased_a-0.5",
+                "biased_a-0.25",
+                "uniform_cure",
+                "birch",
+            ],
+        )
+        for fraction in SAMPLE_FRACTIONS:
+            budget = max(50, int(fraction * dataset.n_points))
+            table.add_row(
+                fraction * 100,
+                run_biased(dataset, budget, exponent=-0.5, n_clusters=10,
+                           seed=seed, n_seeds=3),
+                run_biased(dataset, budget, exponent=-0.25, n_clusters=10,
+                           seed=seed, n_seeds=3),
+                run_uniform(dataset, budget, n_clusters=10, seed=seed,
+                            n_seeds=3),
+                run_birch(dataset, budget, n_clusters=10),
+            )
+
+    dataset5 = make_fig5_dataset(
+        n_dims=5, noise_fraction=0.1, n_points=n_points, random_state=seed
+    )
+    table5 = result.new_table(
+        "5 dims, 10% noise (with grid-based baseline)",
+        ["sample_pct", "biased_a-0.5", "uniform_cure", "grid_e-0.5"],
+    )
+    for fraction in SAMPLE_FRACTIONS:
+        budget = max(50, int(fraction * dataset5.n_points))
+        table5.add_row(
+            fraction * 100,
+            run_biased(dataset5, budget, exponent=-0.5, n_clusters=10,
+                       seed=seed, n_seeds=3),
+            run_uniform(dataset5, budget, n_clusters=10, seed=seed,
+                        n_seeds=3),
+            run_grid(dataset5, budget, exponent=-0.5, n_clusters=10,
+                     seed=seed, n_seeds=3),
+        )
+    result.notes.append(
+        "paper's shape: a=-0.5 dominates at 10% noise, a=-0.25 at 20% "
+        "(less noise amplification); in 5-D the grid baseline beats "
+        "uniform but trails kernel-based biased sampling."
+    )
+    return result

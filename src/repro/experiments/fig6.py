@@ -1,0 +1,60 @@
+"""Figure 6: the 3-D noise sweep at a = 0.5.
+
+Same workload as Figure 4(c) (100k points, 10 clusters, 3 dimensions,
+2% samples) but with the milder dense-region exponent ``a = 0.5`` —
+the paper reports results "similar" to ``a = 1``, showing the method is
+not sensitive to the exact positive exponent.
+"""
+
+from __future__ import annotations
+
+from repro.datasets import make_fig4_dataset
+from repro.experiments._common import (
+    run_biased,
+    run_birch,
+    run_uniform,
+    scaled,
+)
+from repro.experiments.fig4 import NOISE_LEVELS
+from repro.experiments.registry import experiment
+from repro.experiments.reporting import ExperimentResult
+
+_PAPER_N = 100_000
+
+
+@experiment(
+    "fig6",
+    "3-D noise sweep with the milder exponent a=0.5",
+    "Figure 6",
+)
+def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
+    result = ExperimentResult(
+        name="fig6",
+        description="clusters found (of 10) in 3-D, sample 2%, a=0.5",
+    )
+    n_points = scaled(_PAPER_N, scale, minimum=5000)
+    table = result.new_table(
+        "3 dims, sample 2%, a=0.5",
+        ["noise_pct", "biased_a0.5", "uniform_cure", "birch"],
+    )
+    for noise in NOISE_LEVELS:
+        dataset = make_fig4_dataset(
+            n_dims=3,
+            noise_fraction=noise,
+            n_points=n_points,
+            random_state=seed,
+        )
+        budget = max(50, int(0.02 * dataset.n_points))
+        table.add_row(
+            int(noise * 100),
+            run_biased(dataset, budget, exponent=0.5, n_clusters=10,
+                       seed=seed, n_seeds=3),
+            run_uniform(dataset, budget, n_clusters=10, seed=seed,
+                        n_seeds=3),
+            run_birch(dataset, budget, n_clusters=10),
+        )
+    result.notes.append(
+        "paper: the a=0.5 results match the a=1 sweep of Figure 4(c) — "
+        "biased sampling stays near 10 found clusters under heavy noise."
+    )
+    return result

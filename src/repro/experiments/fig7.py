@@ -1,0 +1,57 @@
+"""Figure 7: sensitivity to the number of kernels.
+
+Two 100k-point datasets: DS1 (10 equal clusters + 50% noise, sampled at
+``a = 1``) and DS2 (10 clusters of very different sizes + 20% noise,
+sampled at ``a = -0.25``), both with 500 sample points. Sweeping the
+kernel count from 100 to 1200 shows quality improving steeply at first
+and flattening near ~1000 kernels — the basis of the practitioner's
+recommendation. DS2 needs the accuracy more because its cluster
+densities vary widely.
+"""
+
+from __future__ import annotations
+
+from repro.datasets import ds1_dataset, ds2_dataset
+from repro.experiments._common import run_biased, scaled
+from repro.experiments.registry import experiment
+from repro.experiments.reporting import ExperimentResult
+
+_PAPER_N = 100_000
+KERNEL_SWEEP = (100, 200, 400, 600, 800, 1000, 1200)
+_SAMPLE = 500
+
+
+@experiment(
+    "fig7",
+    "found clusters vs number of kernels (DS1 a=1, DS2 a=-0.25)",
+    "Figure 7",
+)
+def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
+    result = ExperimentResult(
+        name="fig7",
+        description="clusters found (of 10) with 500 sample points as the "
+        "kernel count grows",
+    )
+    n_points = scaled(_PAPER_N, scale, minimum=5000)
+    ds1 = ds1_dataset(n_points=n_points, random_state=seed)
+    ds2 = ds2_dataset(n_points=n_points, random_state=seed)
+    sample = scaled(_SAMPLE, min(1.0, max(scale, 0.5)), minimum=250)
+
+    table = result.new_table(
+        "found clusters vs kernels",
+        ["n_kernels", "ds1_50pct_noise_a1", "ds2_20pct_noise_a-0.25"],
+    )
+    for n_kernels in KERNEL_SWEEP:
+        table.add_row(
+            n_kernels,
+            run_biased(ds1, sample, exponent=1.0, n_clusters=10, seed=seed,
+                       n_kernels=n_kernels, n_seeds=3),
+            run_biased(ds2, sample, exponent=-0.25, n_clusters=10,
+                       seed=seed, n_kernels=n_kernels, n_seeds=3),
+        )
+    result.notes.append(
+        "paper's shape: steep improvement from 100 to a few hundred "
+        "kernels, then diminishing returns; 1000 kernels is the "
+        "recommended operating point."
+    )
+    return result

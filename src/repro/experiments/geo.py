@@ -1,0 +1,63 @@
+"""Section 4.3 "Real Datasets": the geospatial case studies.
+
+On the NorthEast postal data the paper identifies the three largest
+metropolitan areas (New York, Philadelphia, Boston) from a biased
+sample, while "random sampling fails to identify these high density
+areas because there is also a lot of noise, in the form of widely
+distributed rural areas and smaller population centers"; California
+behaves the same. This experiment runs both pipelines on the parametric
+stand-ins (see DESIGN.md substitutions) and scores metro recovery.
+"""
+
+from __future__ import annotations
+
+from repro.datasets import california_dataset, northeast_dataset
+from repro.experiments._common import run_biased, run_uniform, scaled
+from repro.experiments.registry import experiment
+from repro.experiments.reporting import ExperimentResult
+
+
+@experiment(
+    "geo",
+    "metro-area recovery on the NorthEast / California stand-ins",
+    "Section 4.3, Real Datasets",
+)
+def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
+    result = ExperimentResult(
+        name="geo",
+        description="metropolitan clusters found from 2% samples",
+    )
+    table = result.new_table(
+        "found metro clusters",
+        ["dataset", "metros", "biased_a1", "uniform_cure"],
+    )
+    for name, dataset in (
+        (
+            "NorthEast (130k stand-in)",
+            northeast_dataset(
+                n_points=scaled(130_000, scale, 10_000), random_state=seed
+            ),
+        ),
+        (
+            "California (62.5k stand-in)",
+            california_dataset(
+                n_points=scaled(62_553, scale, 10_000), random_state=seed
+            ),
+        ),
+    ):
+        budget = max(100, int(0.02 * dataset.n_points))
+        # The clusterer asks for a handful of clusters; only the metro
+        # cores have ground-truth shapes, towns/rural count as noise.
+        table.add_row(
+            name,
+            dataset.n_clusters,
+            run_biased(dataset, budget, exponent=1.0,
+                       n_clusters=dataset.n_clusters, seed=seed, n_seeds=3),
+            run_uniform(dataset, budget,
+                        n_clusters=dataset.n_clusters, seed=seed, n_seeds=3),
+        )
+    result.notes.append(
+        "paper: biased sampling recovers all three NorthEast metros; "
+        "uniform sampling loses them in the rural scatter."
+    )
+    return result

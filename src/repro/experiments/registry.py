@@ -1,0 +1,51 @@
+"""Registry mapping experiment ids to their run functions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.exceptions import ParameterError
+from repro.experiments.reporting import ExperimentResult
+
+RunFunction = Callable[..., ExperimentResult]
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """A registered experiment."""
+
+    name: str
+    description: str
+    paper_artifact: str
+    run: RunFunction
+
+
+EXPERIMENTS: dict[str, ExperimentSpec] = {}
+
+
+def experiment(name: str, description: str, paper_artifact: str):
+    """Decorator registering ``run(scale, seed) -> ExperimentResult``."""
+
+    def register(func: RunFunction) -> RunFunction:
+        if name in EXPERIMENTS:
+            raise ParameterError(f"experiment {name!r} registered twice.")
+        EXPERIMENTS[name] = ExperimentSpec(
+            name=name,
+            description=description,
+            paper_artifact=paper_artifact,
+            run=func,
+        )
+        return func
+
+    return register
+
+
+def get_experiment(name: str) -> ExperimentSpec:
+    try:
+        return EXPERIMENTS[name]
+    except KeyError:
+        raise ParameterError(
+            f"unknown experiment {name!r}; available: "
+            f"{', '.join(sorted(EXPERIMENTS))}."
+        ) from None

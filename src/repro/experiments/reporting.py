@@ -1,0 +1,89 @@
+"""Plain-text rendering of experiment results.
+
+The paper's figures are line plots; the harness reports the same
+series as aligned ASCII tables (x value per row, one column per curve)
+so the shape — who wins, where the crossover is — is readable in a
+terminal and diffable in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Table:
+    """One table/series of an experiment."""
+
+    title: str
+    headers: list[str]
+    rows: list[list] = field(default_factory=list)
+
+    def add_row(self, *values) -> None:
+        if len(values) != len(self.headers):
+            raise ValueError(
+                f"row has {len(values)} values; table {self.title!r} "
+                f"has {len(self.headers)} columns."
+            )
+        self.rows.append(list(values))
+
+    def column(self, header: str) -> list:
+        """All values of one column (for assertions in tests/benches)."""
+        idx = self.headers.index(header)
+        return [row[idx] for row in self.rows]
+
+    def render(self) -> str:
+        cells = [[_fmt(v) for v in row] for row in self.rows]
+        widths = [
+            max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+            for i, h in enumerate(self.headers)
+        ]
+        lines = [f"## {self.title}"]
+        lines.append(
+            "  ".join(h.ljust(w) for h, w in zip(self.headers, widths))
+        )
+        lines.append("  ".join("-" * w for w in widths))
+        for row in cells:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+@dataclass
+class ExperimentResult:
+    """Everything one experiment produced."""
+
+    name: str
+    description: str
+    tables: list[Table] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def new_table(self, title: str, headers: list[str]) -> Table:
+        table = Table(title=title, headers=headers)
+        self.tables.append(table)
+        return table
+
+    def table(self, title: str) -> Table:
+        for table in self.tables:
+            if table.title == title:
+                return table
+        raise KeyError(f"no table titled {title!r} in {self.name}.")
+
+    def render(self) -> str:
+        parts = [f"# {self.name}: {self.description}"]
+        parts.extend(table.render() for table in self.tables)
+        if self.notes:
+            parts.append("Notes:")
+            parts.extend(f"  - {note}" for note in self.notes)
+        return "\n\n".join(parts)

@@ -1,0 +1,80 @@
+"""Section 4.3 "Running time experiments": linear scaling checks.
+
+"Not surprisingly, our algorithm scales linearly to the number of
+kernels and the size of the datasets." This experiment times the full
+sampling pipeline while doubling each factor and reports the ratios
+(a doubling should roughly double the time).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core import DensityBiasedSampler
+from repro.datasets import make_clustered_dataset
+from repro.density import KernelDensityEstimator
+from repro.experiments._common import scaled
+from repro.experiments.registry import experiment
+from repro.experiments.reporting import ExperimentResult
+
+
+def _sampling_time(points, n_kernels: int, seed: int) -> float:
+    start = time.perf_counter()
+    estimator = KernelDensityEstimator(n_kernels=n_kernels, random_state=seed)
+    DensityBiasedSampler(
+        sample_size=500, exponent=1.0, estimator=estimator, random_state=seed
+    ).sample(points)
+    return time.perf_counter() - start
+
+
+@experiment(
+    "scaling",
+    "sampler runtime is linear in dataset size and kernel count",
+    "Section 4.3, running time experiments",
+)
+def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
+    result = ExperimentResult(
+        name="scaling",
+        description="sampling pipeline wall time while doubling one factor",
+    )
+    base_n = scaled(200_000, scale, minimum=20_000)
+
+    by_size = result.new_table(
+        "varying dataset size (1000 kernels)",
+        ["n_points", "seconds", "ratio_to_prev"],
+    )
+    previous = None
+    for factor in (1, 2, 4):
+        data = make_clustered_dataset(
+            n_points=base_n * factor, n_clusters=10, random_state=seed
+        )
+        elapsed = _sampling_time(data.points, 1000, seed)
+        by_size.add_row(
+            base_n * factor,
+            elapsed,
+            elapsed / previous if previous else 1.0,
+        )
+        previous = elapsed
+
+    by_kernels = result.new_table(
+        "varying kernel count (fixed dataset)",
+        ["n_kernels", "seconds", "ratio_to_prev"],
+    )
+    data = make_clustered_dataset(
+        n_points=base_n, n_clusters=10, random_state=seed
+    )
+    previous = None
+    for n_kernels in (250, 500, 1000, 2000):
+        elapsed = _sampling_time(data.points, n_kernels, seed)
+        by_kernels.add_row(
+            n_kernels,
+            elapsed,
+            elapsed / previous if previous else 1.0,
+        )
+        previous = elapsed
+    result.notes.append(
+        "linear scaling shows as ratio_to_prev ~= the factor applied "
+        "(2x rows should sit near 2; constant overheads pull small runs "
+        "below it)."
+    )
+    return result

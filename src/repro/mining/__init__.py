@@ -1,0 +1,35 @@
+"""Future-work extensions: sampling for other mining tasks.
+
+The paper's conclusion singles out classification, decision trees and
+association rules as tasks that "can potentially benefit both in
+construction time and usability by the application of similar biased
+sampling techniques". This subpackage builds those consumers:
+
+* Apriori frequent-itemset mining plus Toivonen's sampling scheme
+  (VLDB 1996, cited as [28]) with its negative-border certificate;
+* a CART-style decision tree that accepts per-point weights, so it can
+  train on inverse-probability-weighted biased samples.
+"""
+
+from repro.mining.transactions import (
+    TransactionDataset,
+    make_transaction_dataset,
+)
+from repro.mining.apriori import Rule, apriori, association_rules
+from repro.mining.sampled_apriori import SampledAprioriResult, sampled_apriori
+from repro.mining.decision_tree import (
+    DecisionTreeClassifier,
+    make_classification_dataset,
+)
+
+__all__ = [
+    "TransactionDataset",
+    "make_transaction_dataset",
+    "apriori",
+    "association_rules",
+    "Rule",
+    "sampled_apriori",
+    "SampledAprioriResult",
+    "DecisionTreeClassifier",
+    "make_classification_dataset",
+]

@@ -1,0 +1,189 @@
+"""Apriori frequent-itemset mining and association rules.
+
+The classic level-wise algorithm: frequent k-itemsets are joined to
+form (k+1)-candidates, candidates with an infrequent subset are pruned
+(the Apriori property), and supports are counted against the boolean
+incidence matrix in one vectorised sweep per candidate. Weighted
+transactions are supported so Horvitz-Thompson-corrected samples can be
+mined directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+import numpy as np
+
+from repro.exceptions import ParameterError
+from repro.mining.transactions import TransactionDataset
+
+
+def apriori(
+    data: TransactionDataset,
+    min_support: float,
+    max_length: int | None = None,
+    transaction_weights=None,
+) -> dict[frozenset[int], float]:
+    """All itemsets with (weighted) support at least ``min_support``.
+
+    Parameters
+    ----------
+    data:
+        The transactions.
+    min_support:
+        Support threshold as a fraction of the (weighted) transaction
+        count, in (0, 1].
+    max_length:
+        Optional cap on itemset size.
+    transaction_weights:
+        Optional per-transaction weights; supports become weighted
+        fractions (used for inverse-probability-corrected samples).
+
+    Returns
+    -------
+    dict
+        ``frozenset(items) -> support``.
+
+    Examples
+    --------
+    >>> from repro.mining import make_transaction_dataset
+    >>> data = make_transaction_dataset(n_transactions=300, random_state=0)
+    >>> frequent = apriori(data, min_support=0.1)
+    >>> all(len(s) >= 1 for s in frequent)
+    True
+    """
+    if not 0.0 < min_support <= 1.0:
+        raise ParameterError(
+            f"min_support must be in (0, 1]; got {min_support}."
+        )
+    if max_length is not None and max_length < 1:
+        raise ParameterError(f"max_length must be >= 1; got {max_length}.")
+    matrix = data.matrix
+    if transaction_weights is None:
+        weights = np.ones(matrix.shape[0])
+    else:
+        weights = np.asarray(transaction_weights, dtype=np.float64)
+        if weights.shape != (matrix.shape[0],):
+            raise ParameterError(
+                "transaction_weights must have one entry per transaction."
+            )
+        if (weights < 0).any() or weights.sum() <= 0:
+            raise ParameterError(
+                "transaction_weights must be non-negative, positive total."
+            )
+    total = weights.sum()
+
+    # Level 1: single items.
+    item_support = (weights @ matrix) / total
+    frequent: dict[frozenset[int], float] = {
+        frozenset((item,)): float(support)
+        for item, support in enumerate(item_support)
+        if support >= min_support
+    }
+    level = sorted(
+        (tuple(sorted(s)) for s in frequent), key=lambda t: t
+    )
+
+    length = 1
+    while level and (max_length is None or length < max_length):
+        length += 1
+        candidates = _generate_candidates(level)
+        level = []
+        for candidate in candidates:
+            # Apriori pruning: all (k-1)-subsets must be frequent.
+            if any(
+                frozenset(candidate[:i] + candidate[i + 1 :]) not in frequent
+                for i in range(len(candidate))
+            ):
+                continue
+            mask = matrix[:, candidate].all(axis=1)
+            support = float((weights @ mask) / total)
+            if support >= min_support:
+                frequent[frozenset(candidate)] = support
+                level.append(candidate)
+        level.sort()
+    return frequent
+
+
+def _generate_candidates(
+    level: list[tuple[int, ...]],
+) -> list[tuple[int, ...]]:
+    """Join step: merge itemsets sharing their first k-1 items."""
+    out: list[tuple[int, ...]] = []
+    n = len(level)
+    for i in range(n):
+        for j in range(i + 1, n):
+            a, b = level[i], level[j]
+            if a[:-1] != b[:-1]:
+                break  # level is sorted: no further j shares the prefix
+            out.append(a + (b[-1],))
+    return out
+
+
+@dataclass(frozen=True)
+class Rule:
+    """An association rule ``antecedent -> consequent``."""
+
+    antecedent: frozenset[int]
+    consequent: frozenset[int]
+    support: float
+    confidence: float
+    lift: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        lhs = ",".join(map(str, sorted(self.antecedent)))
+        rhs = ",".join(map(str, sorted(self.consequent)))
+        return (
+            f"{{{lhs}}} -> {{{rhs}}} "
+            f"(sup={self.support:.3f}, conf={self.confidence:.3f})"
+        )
+
+
+def association_rules(
+    supports: dict[frozenset[int], float],
+    min_confidence: float = 0.5,
+) -> list[Rule]:
+    """Derive rules from a frequent-itemset table.
+
+    For every frequent itemset and every non-trivial split into
+    antecedent/consequent, emit the rule when ``confidence = sup(all) /
+    sup(antecedent)`` reaches the threshold. Rules are returned sorted
+    by descending confidence then support.
+    """
+    if not 0.0 < min_confidence <= 1.0:
+        raise ParameterError(
+            f"min_confidence must be in (0, 1]; got {min_confidence}."
+        )
+    rules: list[Rule] = []
+    for itemset, support in supports.items():
+        if len(itemset) < 2:
+            continue
+        items = sorted(itemset)
+        for r in range(1, len(items)):
+            for antecedent in combinations(items, r):
+                lhs = frozenset(antecedent)
+                rhs = itemset - lhs
+                lhs_support = supports.get(lhs)
+                rhs_support = supports.get(rhs)
+                if lhs_support is None or lhs_support <= 0:
+                    continue
+                confidence = support / lhs_support
+                if confidence < min_confidence:
+                    continue
+                lift = (
+                    confidence / rhs_support
+                    if rhs_support
+                    else float("inf")
+                )
+                rules.append(
+                    Rule(
+                        antecedent=lhs,
+                        consequent=rhs,
+                        support=support,
+                        confidence=confidence,
+                        lift=lift,
+                    )
+                )
+    rules.sort(key=lambda rule: (-rule.confidence, -rule.support))
+    return rules

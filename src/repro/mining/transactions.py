@@ -1,0 +1,134 @@
+"""Market-basket transaction data: container + Quest-style generator.
+
+Transactions are stored as a boolean incidence matrix (transactions by
+items) so support counting vectorises; the generator follows the
+classic IBM Quest recipe — draw maximal potential itemsets ("patterns"),
+then build each transaction as a union of a few (possibly corrupted)
+patterns plus random noise items — which produces the skewed support
+distributions real basket data exhibits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ParameterError
+from repro.utils.validation import check_random_state
+
+
+@dataclass
+class TransactionDataset:
+    """A set of transactions over an item universe.
+
+    Attributes
+    ----------
+    matrix:
+        Boolean incidence matrix, shape ``(n_transactions, n_items)``.
+    patterns:
+        The generating patterns (ground truth for tests), item-index
+        tuples; empty for datasets not built by the generator.
+    """
+
+    matrix: np.ndarray
+    patterns: list[tuple[int, ...]]
+
+    @property
+    def n_transactions(self) -> int:
+        return self.matrix.shape[0]
+
+    @property
+    def n_items(self) -> int:
+        return self.matrix.shape[1]
+
+    def transaction(self, row: int) -> tuple[int, ...]:
+        """The item indices of one transaction."""
+        return tuple(np.nonzero(self.matrix[row])[0].tolist())
+
+    def lengths(self) -> np.ndarray:
+        """Items per transaction."""
+        return self.matrix.sum(axis=1)
+
+    def support(self, itemset) -> float:
+        """Fraction of transactions containing every item of ``itemset``."""
+        items = list(itemset)
+        if not items:
+            return 1.0
+        return float(self.matrix[:, items].all(axis=1).mean())
+
+    def subset(self, rows) -> "TransactionDataset":
+        """A new dataset restricted to the given transaction rows."""
+        return TransactionDataset(
+            matrix=self.matrix[np.asarray(rows, dtype=np.int64)],
+            patterns=list(self.patterns),
+        )
+
+
+def make_transaction_dataset(
+    n_transactions: int = 10_000,
+    n_items: int = 200,
+    n_patterns: int = 20,
+    pattern_length: float = 4.0,
+    patterns_per_transaction: float = 2.0,
+    noise_items: float = 2.0,
+    corruption: float = 0.25,
+    random_state=None,
+) -> TransactionDataset:
+    """Generate Quest-style basket data.
+
+    Parameters
+    ----------
+    n_transactions, n_items:
+        Dataset dimensions.
+    n_patterns:
+        Number of frequent "potential itemsets" planted.
+    pattern_length:
+        Mean items per pattern (Poisson, at least 1).
+    patterns_per_transaction:
+        Mean patterns mixed into each transaction (Poisson).
+    noise_items:
+        Mean random extra items per transaction (Poisson).
+    corruption:
+        Probability that each item of a chosen pattern is dropped from
+        the transaction (models partial purchases).
+
+    Examples
+    --------
+    >>> data = make_transaction_dataset(n_transactions=100, random_state=0)
+    >>> data.n_transactions, data.n_items
+    (100, 200)
+    """
+    if n_transactions < 1 or n_items < 2:
+        raise ParameterError("need n_transactions >= 1 and n_items >= 2.")
+    if n_patterns < 1:
+        raise ParameterError(f"n_patterns must be >= 1; got {n_patterns}.")
+    if not 0.0 <= corruption < 1.0:
+        raise ParameterError(f"corruption must be in [0, 1); got {corruption}.")
+    rng = check_random_state(random_state)
+
+    # Patterns: skewed popularity (earlier patterns picked more often).
+    patterns: list[tuple[int, ...]] = []
+    for _ in range(n_patterns):
+        length = max(1, rng.poisson(pattern_length))
+        length = min(length, n_items)
+        patterns.append(
+            tuple(sorted(rng.choice(n_items, size=length, replace=False)))
+        )
+    popularity = 1.0 / np.arange(1, n_patterns + 1)  # zipfian
+    popularity /= popularity.sum()
+
+    matrix = np.zeros((n_transactions, n_items), dtype=bool)
+    for row in range(n_transactions):
+        n_mix = max(1, rng.poisson(patterns_per_transaction))
+        chosen = rng.choice(n_patterns, size=n_mix, p=popularity)
+        for pattern_idx in chosen:
+            for item in patterns[pattern_idx]:
+                if corruption == 0.0 or rng.random() >= corruption:
+                    matrix[row, item] = True
+        n_noise = rng.poisson(noise_items)
+        if n_noise:
+            noise = rng.choice(n_items, size=min(n_noise, n_items),
+                               replace=False)
+            matrix[row, noise] = True
+    return TransactionDataset(matrix=matrix, patterns=patterns)

@@ -1,0 +1,26 @@
+"""Distance-based (DB) outlier detection.
+
+``DB(p, k)`` outliers follow Knorr & Ng: an object is an outlier when at
+most ``p`` objects of the dataset lie within distance ``k`` of it. Exact
+detectors (nested-loop and index-accelerated) serve as ground truth; the
+paper's contribution is :class:`ApproximateOutlierDetector` (section
+3.2), which uses the density estimator to screen for *likely* outliers
+in one pass and verifies them in at most two more.
+"""
+
+from repro.outliers.base import OutlierResult, is_db_outlier_count
+from repro.outliers.knorr_ng import (
+    IndexedOutlierDetector,
+    NestedLoopOutlierDetector,
+)
+from repro.outliers.approximate import ApproximateOutlierDetector
+from repro.outliers.cell_based import CellBasedOutlierDetector
+
+__all__ = [
+    "OutlierResult",
+    "is_db_outlier_count",
+    "NestedLoopOutlierDetector",
+    "IndexedOutlierDetector",
+    "CellBasedOutlierDetector",
+    "ApproximateOutlierDetector",
+]

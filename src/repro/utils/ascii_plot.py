@@ -1,0 +1,142 @@
+"""Terminal scatter plots (no plotting dependency).
+
+The paper's Figure 3 is a picture; the examples and experiments render
+the same story as character grids so the repository stays free of
+graphics dependencies. Multiple point sets overlay with distinct glyphs
+(later sets draw over earlier ones).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ParameterError
+
+DEFAULT_GLYPHS = ".o*#@+x%"
+
+
+def scatter_plot(
+    point_sets,
+    width: int = 72,
+    height: int = 28,
+    glyphs: str = DEFAULT_GLYPHS,
+    bounds=None,
+    labels=None,
+) -> str:
+    """Render 2-D point sets as an ASCII grid.
+
+    Parameters
+    ----------
+    point_sets:
+        One ``(n, 2)`` array, or a sequence of them; each set gets the
+        next glyph.
+    width, height:
+        Character-grid size (excluding the frame).
+    glyphs:
+        Glyph per set, in order.
+    bounds:
+        Optional ``((x_min, y_min), (x_max, y_max))``; defaults to the
+        joint bounding box.
+    labels:
+        Optional legend names, one per set.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> art = scatter_plot(np.array([[0.0, 0.0], [1.0, 1.0]]),
+    ...                    width=10, height=5)
+    >>> art.count("\\n") >= 5
+    True
+    """
+    if isinstance(point_sets, np.ndarray) and point_sets.ndim == 2:
+        point_sets = [point_sets]
+    point_sets = [np.atleast_2d(np.asarray(p, dtype=float))
+                  for p in point_sets]
+    if not point_sets:
+        raise ParameterError("need at least one point set.")
+    if any(p.shape[1] != 2 for p in point_sets if p.size):
+        raise ParameterError("ascii scatter plots are 2-D only.")
+    if len(point_sets) > len(glyphs):
+        raise ParameterError(
+            f"{len(point_sets)} point sets but only {len(glyphs)} glyphs."
+        )
+    if width < 2 or height < 2:
+        raise ParameterError("width and height must be >= 2.")
+
+    non_empty = [p for p in point_sets if p.size]
+    if bounds is not None:
+        (x_min, y_min), (x_max, y_max) = bounds
+    elif non_empty:
+        stacked = np.vstack(non_empty)
+        x_min, y_min = stacked.min(axis=0)
+        x_max, y_max = stacked.max(axis=0)
+    else:
+        x_min = y_min = 0.0
+        x_max = y_max = 1.0
+    x_span = max(x_max - x_min, 1e-12)
+    y_span = max(y_max - y_min, 1e-12)
+
+    grid = [[" "] * width for _ in range(height)]
+    for glyph, pts in zip(glyphs, point_sets):
+        if not pts.size:
+            continue
+        cols = ((pts[:, 0] - x_min) / x_span * (width - 1)).round().astype(int)
+        rows = ((pts[:, 1] - y_min) / y_span * (height - 1)).round().astype(int)
+        cols = np.clip(cols, 0, width - 1)
+        rows = np.clip(rows, 0, height - 1)
+        for col, row in zip(cols, rows):
+            grid[height - 1 - row][col] = glyph  # y grows upward
+
+    frame_top = "+" + "-" * width + "+"
+    lines = [frame_top]
+    lines.extend("|" + "".join(row) + "|" for row in grid)
+    lines.append(frame_top)
+    if labels:
+        legend = "  ".join(
+            f"{glyph}={name}" for glyph, name in zip(glyphs, labels)
+        )
+        lines.append(legend)
+    return "\n".join(lines)
+
+
+def line_plot(
+    xs,
+    series: dict[str, list],
+    width: int = 64,
+    height: int = 16,
+    glyphs: str = DEFAULT_GLYPHS[1:],
+) -> str:
+    """Render one or more y-series against shared x values.
+
+    A compact way to show the paper's figure shapes (found clusters vs
+    noise, time vs sample size) in a terminal.
+    """
+    xs = np.asarray(xs, dtype=float)
+    if xs.ndim != 1 or xs.size < 2:
+        raise ParameterError("xs must be 1-D with at least two values.")
+    if not series:
+        raise ParameterError("series must be non-empty.")
+    sets = []
+    for values in series.values():
+        values = np.asarray(values, dtype=float)
+        if values.shape != xs.shape:
+            raise ParameterError("every series must align with xs.")
+        sets.append(np.column_stack([xs, values]))
+    all_y = np.concatenate([s[:, 1] for s in sets])
+    bounds = (
+        (xs.min(), all_y.min()),
+        (xs.max(), all_y.max() if all_y.max() > all_y.min() else all_y.min() + 1),
+    )
+    art = scatter_plot(
+        sets,
+        width=width,
+        height=height,
+        glyphs=glyphs,
+        bounds=bounds,
+        labels=list(series),
+    )
+    footer = (
+        f"x: {xs.min():g} .. {xs.max():g}    "
+        f"y: {all_y.min():g} .. {all_y.max():g}"
+    )
+    return art + "\n" + footer

@@ -1,0 +1,146 @@
+"""File-backed data streams: sequential passes over on-disk datasets.
+
+The in-memory :class:`~repro.utils.streams.DataStream` models the
+pass-based access pattern; these classes make it literal for datasets
+that live in files, so the one-pass estimators and two-pass samplers
+run out-of-core unchanged. Both expose the same iteration contract
+(``__iter__`` yields chunks, ``iter_with_offsets`` adds row offsets,
+``passes`` counts traversals).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.exceptions import DataValidationError
+from repro.utils.streams import DataStream
+
+
+class NpyFileStream(DataStream):
+    """Chunked passes over a ``.npy`` array via memory mapping.
+
+    The file is memory-mapped read-only; each chunk is copied out, so
+    downstream code never holds references into the map.
+    """
+
+    def __init__(self, path: str, chunk_size: int = 65536) -> None:
+        if not os.path.exists(path):
+            raise DataValidationError(f"no data file at {path!r}.")
+        mapped = np.load(path, mmap_mode="r")
+        if mapped.ndim != 2:
+            raise DataValidationError(
+                f"{path!r} must hold a 2-D array; got ndim={mapped.ndim}."
+            )
+        self._mapped = mapped
+        self.path = path
+        # Deliberately skip DataStream.__init__'s materialising
+        # validation; set the public fields directly.
+        self.chunk_size = int(chunk_size)
+        if self.chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1; got {chunk_size}.")
+        self.n_points = mapped.shape[0]
+        self.n_dims = mapped.shape[1]
+        self.passes = 0
+
+    def __iter__(self):
+        self.passes += 1
+        for start in range(0, self.n_points, self.chunk_size):
+            yield np.asarray(
+                self._mapped[start : start + self.chunk_size],
+                dtype=np.float64,
+            )
+
+    def iter_with_offsets(self):
+        self.passes += 1
+        for start in range(0, self.n_points, self.chunk_size):
+            yield start, np.asarray(
+                self._mapped[start : start + self.chunk_size],
+                dtype=np.float64,
+            )
+
+    def materialize(self) -> np.ndarray:
+        self.passes += 1
+        return np.asarray(self._mapped, dtype=np.float64)
+
+
+class CsvFileStream(DataStream):
+    """Chunked passes over a headerless numeric CSV file.
+
+    Rows are parsed lazily per pass; the whole file is never resident.
+    A pre-pass at construction counts rows and validates the column
+    count (analogous to a database knowing its cardinality).
+    """
+
+    def __init__(
+        self, path: str, chunk_size: int = 65536, delimiter: str = ","
+    ) -> None:
+        if not os.path.exists(path):
+            raise DataValidationError(f"no data file at {path!r}.")
+        self.path = path
+        self.delimiter = delimiter
+        self.chunk_size = int(chunk_size)
+        if self.chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1; got {chunk_size}.")
+        n_points = 0
+        n_dims = None
+        with open(path) as handle:
+            for line in handle:
+                if not line.strip():
+                    continue
+                width = line.count(delimiter) + 1
+                if n_dims is None:
+                    n_dims = width
+                elif width != n_dims:
+                    raise DataValidationError(
+                        f"ragged CSV: row {n_points} has {width} columns, "
+                        f"expected {n_dims}."
+                    )
+                n_points += 1
+        if n_points == 0:
+            raise DataValidationError(f"{path!r} holds no data rows.")
+        self.n_points = n_points
+        self.n_dims = n_dims
+        self.passes = 0
+
+    def _chunks(self):
+        buffer: list[str] = []
+        with open(self.path) as handle:
+            for line in handle:
+                if not line.strip():
+                    continue
+                buffer.append(line)
+                if len(buffer) == self.chunk_size:
+                    yield self._parse(buffer)
+                    buffer = []
+        if buffer:
+            yield self._parse(buffer)
+
+    def _parse(self, lines: list[str]) -> np.ndarray:
+        try:
+            return np.array(
+                [
+                    [float(cell) for cell in line.split(self.delimiter)]
+                    for line in lines
+                ]
+            )
+        except ValueError as exc:
+            raise DataValidationError(
+                f"non-numeric cell in {self.path!r}: {exc}"
+            ) from exc
+
+    def __iter__(self):
+        self.passes += 1
+        yield from self._chunks()
+
+    def iter_with_offsets(self):
+        self.passes += 1
+        start = 0
+        for chunk in self._chunks():
+            yield start, chunk
+            start += chunk.shape[0]
+
+    def materialize(self) -> np.ndarray:
+        self.passes += 1
+        return np.vstack(list(self._chunks()))

@@ -1,0 +1,53 @@
+"""Geometric helpers: distances and ball volumes.
+
+The outlier detector integrates density over Euclidean balls and the
+clustering code needs fast pairwise distances; both live here so the
+formulas are tested once.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+
+def ball_volume(radius: float, n_dims: int) -> float:
+    """Volume of a Euclidean ball of ``radius`` in ``n_dims`` dimensions.
+
+    Uses the closed form ``pi^(d/2) / Gamma(d/2 + 1) * r^d``.
+
+    >>> round(ball_volume(1.0, 2), 6)  # unit disk
+    3.141593
+    """
+    if n_dims < 1:
+        raise ValueError(f"n_dims must be >= 1; got {n_dims}.")
+    if radius < 0:
+        raise ValueError(f"radius must be >= 0; got {radius}.")
+    unit = math.pi ** (n_dims / 2.0) / math.gamma(n_dims / 2.0 + 1.0)
+    return unit * radius**n_dims
+
+
+def pairwise_sq_distances(points: np.ndarray) -> np.ndarray:
+    """All-pairs squared Euclidean distances, shape ``(n, n)``.
+
+    Computed via the expansion ``|x-y|^2 = |x|^2 + |y|^2 - 2 x.y`` with a
+    clip at zero to absorb floating-point negatives on the diagonal.
+    """
+    sq_norms = np.einsum("ij,ij->i", points, points)
+    gram = points @ points.T
+    dists = sq_norms[:, None] + sq_norms[None, :] - 2.0 * gram
+    np.maximum(dists, 0.0, out=dists)
+    return dists
+
+
+def sq_distances_to(points: np.ndarray, targets: np.ndarray) -> np.ndarray:
+    """Squared distances from each of ``points`` to each of ``targets``.
+
+    Returns shape ``(len(points), len(targets))``.
+    """
+    p_norms = np.einsum("ij,ij->i", points, points)
+    t_norms = np.einsum("ij,ij->i", targets, targets)
+    dists = p_norms[:, None] + t_norms[None, :] - 2.0 * (points @ targets.T)
+    np.maximum(dists, 0.0, out=dists)
+    return dists

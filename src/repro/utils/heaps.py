@@ -1,0 +1,118 @@
+"""An indexed min-heap supporting decrease/increase-key.
+
+The CURE-style hierarchical clusterer keeps every live cluster keyed by
+the distance to its current nearest neighbour; merges must update keys of
+arbitrary entries, which the stdlib ``heapq`` cannot do without lazy
+deletion bookkeeping. This class implements the classic array heap with a
+position index so updates are O(log n).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+
+class IndexedMinHeap:
+    """Min-heap over (key, item) pairs with O(log n) arbitrary updates.
+
+    Items must be hashable and unique. ``push`` on an existing item
+    behaves as an update.
+    """
+
+    def __init__(self) -> None:
+        self._keys: list[float] = []
+        self._items: list[Hashable] = []
+        self._pos: dict[Hashable, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __contains__(self, item: Hashable) -> bool:
+        return item in self._pos
+
+    def key_of(self, item: Hashable) -> float:
+        """Current key of ``item`` (KeyError if absent)."""
+        return self._keys[self._pos[item]]
+
+    def push(self, item: Hashable, key: float) -> None:
+        """Insert ``item`` with ``key``, or update its key if present."""
+        if item in self._pos:
+            self.update(item, key)
+            return
+        self._keys.append(key)
+        self._items.append(item)
+        self._pos[item] = len(self._items) - 1
+        self._sift_up(len(self._items) - 1)
+
+    def update(self, item: Hashable, key: float) -> None:
+        """Change the key of an existing item."""
+        idx = self._pos[item]
+        old = self._keys[idx]
+        self._keys[idx] = key
+        if key < old:
+            self._sift_up(idx)
+        elif key > old:
+            self._sift_down(idx)
+
+    def peek(self) -> tuple[Hashable, float]:
+        """Return (item, key) with the minimum key without removing it."""
+        if not self._items:
+            raise IndexError("peek from an empty heap")
+        return self._items[0], self._keys[0]
+
+    def pop(self) -> tuple[Hashable, float]:
+        """Remove and return the (item, key) pair with minimum key."""
+        if not self._items:
+            raise IndexError("pop from an empty heap")
+        item, key = self._items[0], self._keys[0]
+        self._remove_at(0)
+        return item, key
+
+    def remove(self, item: Hashable) -> None:
+        """Remove an arbitrary item."""
+        self._remove_at(self._pos[item])
+
+    # -- internals ----------------------------------------------------------
+
+    def _remove_at(self, idx: int) -> None:
+        last = len(self._items) - 1
+        self._swap(idx, last)
+        removed = self._items.pop()
+        self._keys.pop()
+        del self._pos[removed]
+        if idx <= last - 1 and self._items:
+            # The element moved into `idx` may need to travel either way.
+            self._sift_down(idx)
+            self._sift_up(idx)
+
+    def _swap(self, i: int, j: int) -> None:
+        if i == j:
+            return
+        self._items[i], self._items[j] = self._items[j], self._items[i]
+        self._keys[i], self._keys[j] = self._keys[j], self._keys[i]
+        self._pos[self._items[i]] = i
+        self._pos[self._items[j]] = j
+
+    def _sift_up(self, idx: int) -> None:
+        while idx > 0:
+            parent = (idx - 1) // 2
+            if self._keys[idx] < self._keys[parent]:
+                self._swap(idx, parent)
+                idx = parent
+            else:
+                break
+
+    def _sift_down(self, idx: int) -> None:
+        size = len(self._items)
+        while True:
+            left = 2 * idx + 1
+            right = left + 1
+            smallest = idx
+            if left < size and self._keys[left] < self._keys[smallest]:
+                smallest = left
+            if right < size and self._keys[right] < self._keys[smallest]:
+                smallest = right
+            if smallest == idx:
+                break
+            self._swap(idx, smallest)
+            idx = smallest

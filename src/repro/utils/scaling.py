@@ -1,0 +1,100 @@
+"""Min-max scaling of datasets onto the unit hypercube.
+
+The paper assumes the data domain is ``[0, 1]^d`` ("otherwise we can scale
+the attributes", section 2.1). Density estimators fit a scaler internally
+so the library accepts raw coordinates everywhere.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import NotFittedError
+from repro.utils.validation import check_array
+
+
+class MinMaxScaler:
+    """Affine map of each attribute onto ``[0, 1]``.
+
+    Degenerate attributes (constant columns) are mapped to ``0.5`` so
+    downstream volume computations never divide by zero.
+
+    Attributes
+    ----------
+    data_min_, data_max_ : numpy.ndarray
+        Per-attribute extrema observed during :meth:`fit`.
+    scale_ : numpy.ndarray
+        Per-attribute multiplicative factor ``1 / (max - min)``.
+    """
+
+    def __init__(self) -> None:
+        self.data_min_: np.ndarray | None = None
+        self.data_max_: np.ndarray | None = None
+        self.scale_: np.ndarray | None = None
+
+    # -- fitting -----------------------------------------------------------
+
+    def fit(self, data) -> "MinMaxScaler":
+        """Learn per-attribute extrema from ``data``."""
+        arr = check_array(data, name="data")
+        self.data_min_ = arr.min(axis=0)
+        self.data_max_ = arr.max(axis=0)
+        self._update_scale()
+        return self
+
+    def partial_fit(self, chunk) -> "MinMaxScaler":
+        """Update extrema from one chunk of a streamed dataset."""
+        arr = check_array(chunk, name="chunk")
+        if self.data_min_ is None:
+            self.data_min_ = arr.min(axis=0)
+            self.data_max_ = arr.max(axis=0)
+        else:
+            self.data_min_ = np.minimum(self.data_min_, arr.min(axis=0))
+            self.data_max_ = np.maximum(self.data_max_, arr.max(axis=0))
+        self._update_scale()
+        return self
+
+    def _update_scale(self) -> None:
+        span = self.data_max_ - self.data_min_
+        # Constant (or sub-normal-width) columns get unit scale so the
+        # reciprocal cannot overflow; transform() centres them at 0.5.
+        self._degenerate = span <= np.finfo(np.float64).tiny
+        safe = np.where(self._degenerate, 1.0, span)
+        self.scale_ = 1.0 / safe
+
+    # -- transforms --------------------------------------------------------
+
+    def _require_fitted(self) -> None:
+        if self.scale_ is None:
+            raise NotFittedError(
+                "MinMaxScaler is not fitted; call fit() or partial_fit()."
+            )
+
+    def transform(self, data) -> np.ndarray:
+        """Map ``data`` onto the unit hypercube learned at fit time."""
+        self._require_fitted()
+        arr = check_array(data, name="data")
+        out = (arr - self.data_min_) * self.scale_
+        if self._degenerate.any():
+            out[:, self._degenerate] = 0.5
+        return out
+
+    def inverse_transform(self, data) -> np.ndarray:
+        """Map unit-cube coordinates back to the original domain."""
+        self._require_fitted()
+        arr = check_array(data, name="data")
+        span = np.where(
+            self._degenerate, 0.0, self.data_max_ - self.data_min_
+        )
+        return arr * span + self.data_min_
+
+    def fit_transform(self, data) -> np.ndarray:
+        """Fit on ``data`` and return its unit-cube image."""
+        return self.fit(data).transform(data)
+
+    @property
+    def volume_(self) -> float:
+        """Volume of the fitted bounding box in original coordinates."""
+        self._require_fitted()
+        span = self.data_max_ - self.data_min_
+        return float(np.prod(np.where(self._degenerate, 1.0, span)))

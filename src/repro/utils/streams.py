@@ -1,0 +1,96 @@
+"""Dataset-pass abstraction.
+
+The paper's efficiency claims are phrased in *dataset passes*: one pass to
+fit the density estimator, one (or two) more to draw the sample / verify
+outliers. :class:`DataStream` makes those passes explicit — algorithms
+iterate chunks rather than indexing an array — and :class:`PassCounter`
+lets tests assert that an algorithm really performed the number of passes
+it advertises.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.utils.validation import check_array
+
+
+class DataStream:
+    """A re-iterable, chunked view of an in-memory dataset.
+
+    Parameters
+    ----------
+    data:
+        Array-like of shape ``(n, d)``.
+    chunk_size:
+        Number of rows yielded per chunk. The last chunk may be smaller.
+
+    Notes
+    -----
+    The class models a dataset that is too large to process at once: code
+    written against it performs sequential passes only. For this
+    reproduction the backing store is an in-memory array, but any
+    out-of-core source exposing the same iteration contract would work.
+    """
+
+    def __init__(self, data, chunk_size: int = 65536) -> None:
+        self._data = check_array(data, name="data")
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1; got {chunk_size}.")
+        self.chunk_size = int(chunk_size)
+        self.n_points = self._data.shape[0]
+        self.n_dims = self._data.shape[1]
+        self.passes = 0
+
+    def __iter__(self) -> Iterator[np.ndarray]:
+        self.passes += 1
+        for start in range(0, self.n_points, self.chunk_size):
+            yield self._data[start : start + self.chunk_size]
+
+    def __len__(self) -> int:
+        return self.n_points
+
+    def iter_with_offsets(self) -> Iterator[tuple[int, np.ndarray]]:
+        """Like ``__iter__`` but also yields the row offset of each chunk."""
+        self.passes += 1
+        for start in range(0, self.n_points, self.chunk_size):
+            yield start, self._data[start : start + self.chunk_size]
+
+    def materialize(self) -> np.ndarray:
+        """Return the full dataset as one array (counts as one pass)."""
+        self.passes += 1
+        return self._data
+
+
+class PassCounter:
+    """Context helper recording how many passes a block of code performed.
+
+    Examples
+    --------
+    >>> stream = as_stream([[0.0], [1.0]])
+    >>> with PassCounter(stream) as counter:
+    ...     _ = [chunk for chunk in stream]
+    >>> counter.passes
+    1
+    """
+
+    def __init__(self, stream: DataStream) -> None:
+        self._stream = stream
+        self._start = 0
+        self.passes = 0
+
+    def __enter__(self) -> "PassCounter":
+        self._start = self._stream.passes
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.passes = self._stream.passes - self._start
+
+
+def as_stream(data, chunk_size: int = 65536) -> DataStream:
+    """Coerce ``data`` to a :class:`DataStream` (no-op if it already is one)."""
+    if isinstance(data, DataStream):
+        return data
+    return DataStream(data, chunk_size=chunk_size)

@@ -1,0 +1,119 @@
+"""Input validation helpers used across the library.
+
+These keep the validation rules in one place so every estimator rejects
+bad input with the same, descriptive error messages.
+"""
+
+from __future__ import annotations
+
+import numbers
+
+import numpy as np
+
+from repro.exceptions import DataValidationError, ParameterError
+
+
+def check_array(
+    data,
+    *,
+    name: str = "data",
+    min_rows: int = 1,
+    allow_1d: bool = False,
+    dtype=np.float64,
+) -> np.ndarray:
+    """Validate and coerce ``data`` into a 2-D float array.
+
+    Parameters
+    ----------
+    data:
+        Anything convertible to a numpy array of shape ``(n, d)``. A 1-D
+        array is accepted when ``allow_1d`` is true and is reshaped to a
+        single column.
+    name:
+        Name used in error messages.
+    min_rows:
+        Minimum number of rows required.
+    dtype:
+        Target dtype of the returned array.
+
+    Returns
+    -------
+    numpy.ndarray
+        A C-contiguous ``(n, d)`` array of ``dtype``.
+
+    Raises
+    ------
+    DataValidationError
+        If the array is empty, has the wrong rank, or contains
+        non-finite values.
+    """
+    arr = np.asarray(data, dtype=dtype)
+    if arr.ndim == 1:
+        if not allow_1d:
+            raise DataValidationError(
+                f"{name} must be 2-dimensional (n_points, n_dims); "
+                f"got a 1-D array of length {arr.shape[0]}. "
+                "Reshape with data.reshape(-1, 1) for a single feature."
+            )
+        arr = arr.reshape(-1, 1)
+    if arr.ndim != 2:
+        raise DataValidationError(
+            f"{name} must be 2-dimensional (n_points, n_dims); "
+            f"got ndim={arr.ndim}."
+        )
+    if arr.shape[0] < min_rows:
+        raise DataValidationError(
+            f"{name} must contain at least {min_rows} point(s); "
+            f"got {arr.shape[0]}."
+        )
+    if arr.shape[1] < 1:
+        raise DataValidationError(f"{name} must have at least one column.")
+    if not np.isfinite(arr).all():
+        raise DataValidationError(
+            f"{name} contains NaN or infinite values; clean the data first."
+        )
+    return np.ascontiguousarray(arr)
+
+
+def check_random_state(seed) -> np.random.Generator:
+    """Turn ``seed`` into a :class:`numpy.random.Generator`.
+
+    Accepts ``None`` (fresh entropy), an integer seed, an existing
+    ``Generator`` (returned as-is), or a legacy ``RandomState`` (wrapped).
+    """
+    if seed is None or isinstance(seed, numbers.Integral):
+        return np.random.default_rng(seed)
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if isinstance(seed, np.random.RandomState):
+        # Wrap the legacy bit generator so downstream code only ever
+        # sees the Generator API.
+        return np.random.default_rng(seed.randint(np.iinfo(np.int32).max))
+    raise ParameterError(
+        f"random_state must be None, an int, or a numpy Generator; "
+        f"got {type(seed).__name__}."
+    )
+
+
+def check_positive(value, *, name: str, strict: bool = True) -> float:
+    """Validate that a numeric parameter is positive (or non-negative)."""
+    if not isinstance(value, numbers.Real) or isinstance(value, bool):
+        raise ParameterError(f"{name} must be a real number; got {value!r}.")
+    value = float(value)
+    if strict and value <= 0:
+        raise ParameterError(f"{name} must be > 0; got {value}.")
+    if not strict and value < 0:
+        raise ParameterError(f"{name} must be >= 0; got {value}.")
+    return value
+
+
+def check_fraction(value, *, name: str, inclusive: bool = True) -> float:
+    """Validate that ``value`` lies in [0, 1] (or (0, 1) if not inclusive)."""
+    if not isinstance(value, numbers.Real) or isinstance(value, bool):
+        raise ParameterError(f"{name} must be a real number; got {value!r}.")
+    value = float(value)
+    if inclusive and not 0.0 <= value <= 1.0:
+        raise ParameterError(f"{name} must be in [0, 1]; got {value}.")
+    if not inclusive and not 0.0 < value < 1.0:
+        raise ParameterError(f"{name} must be in (0, 1); got {value}.")
+    return value

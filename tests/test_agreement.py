@@ -1,0 +1,106 @@
+"""Tests for label-agreement metrics (ARI, NMI, purity)."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation import (
+    adjusted_rand_index,
+    contingency_table,
+    normalized_mutual_information,
+    purity,
+)
+from repro.exceptions import ParameterError
+
+
+class TestContingency:
+    def test_counts(self):
+        table = contingency_table([0, 0, 1, 1], [0, 1, 1, 1])
+        np.testing.assert_array_equal(table, [[1, 1], [0, 2]])
+
+    def test_noise_excluded(self):
+        table = contingency_table([0, -1, 1], [0, 0, 1])
+        assert table.sum() == 2
+
+    def test_rejects_mismatched(self):
+        with pytest.raises(ParameterError):
+            contingency_table([0, 1], [0, 1, 1])
+
+    def test_rejects_all_noise(self):
+        with pytest.raises(ParameterError):
+            contingency_table([-1, -1], [0, 1])
+
+
+class TestAdjustedRand:
+    def test_identical_partitions(self):
+        assert adjusted_rand_index([0, 0, 1, 1], [0, 0, 1, 1]) == 1.0
+
+    def test_relabelling_invariant(self):
+        assert adjusted_rand_index([0, 0, 1, 1], [5, 5, 2, 2] ) == 1.0
+
+    def test_random_labels_near_zero(self):
+        rng = np.random.default_rng(0)
+        truth = rng.integers(0, 4, size=5000)
+        predicted = rng.integers(0, 4, size=5000)
+        assert abs(adjusted_rand_index(truth, predicted)) < 0.02
+
+    def test_partial_agreement_between_zero_and_one(self):
+        value = adjusted_rand_index([0, 0, 0, 1, 1, 1], [0, 0, 1, 1, 1, 1])
+        assert 0.0 < value < 1.0
+
+    def test_symmetry(self):
+        a = [0, 0, 1, 1, 2, 2]
+        b = [0, 1, 1, 1, 2, 0]
+        assert adjusted_rand_index(a, b) == pytest.approx(
+            adjusted_rand_index(b, a)
+        )
+
+
+class TestNmi:
+    def test_identical(self):
+        assert normalized_mutual_information([0, 1, 2], [2, 0, 1]) == 1.0
+
+    def test_independent_near_zero(self):
+        rng = np.random.default_rng(1)
+        truth = rng.integers(0, 3, size=5000)
+        predicted = rng.integers(0, 3, size=5000)
+        assert normalized_mutual_information(truth, predicted) < 0.05
+
+    def test_bounded(self):
+        rng = np.random.default_rng(2)
+        truth = rng.integers(0, 5, size=200)
+        predicted = (truth + rng.integers(0, 2, size=200)) % 5
+        value = normalized_mutual_information(truth, predicted)
+        assert 0.0 <= value <= 1.0
+
+
+class TestPurity:
+    def test_perfect(self):
+        assert purity([0, 0, 1], [1, 1, 0]) == 1.0
+
+    def test_known_value(self):
+        assert purity([0, 0, 1, 1], [0, 0, 0, 1]) == 0.75
+
+    def test_single_predicted_cluster(self):
+        # Everything in one cluster: purity = largest true class share.
+        assert purity([0, 0, 0, 1], [0, 0, 0, 0]) == 0.75
+
+
+class TestEndToEnd:
+    def test_pipeline_labels_score_high(self):
+        """Sample -> CURE -> assign: full-data labels should agree
+        strongly with the generator's ground truth."""
+        from repro.clustering import CureClustering, assign_to_clusters
+        from repro.core import DensityBiasedSampler
+        from repro.datasets import make_clustered_dataset
+
+        data = make_clustered_dataset(
+            n_points=20_000, n_clusters=6, noise_fraction=0.0,
+            random_state=0,
+        )
+        sample = DensityBiasedSampler(
+            sample_size=600, exponent=0.5, random_state=0
+        ).sample(data.points)
+        clustering = CureClustering(n_clusters=6).fit(sample.points)
+        labels = assign_to_clusters(data.points, clustering)
+        assert adjusted_rand_index(data.labels, labels) > 0.8
+        assert purity(data.labels, labels) > 0.85

@@ -1,0 +1,112 @@
+"""Tests for Apriori and association rules."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.mining import TransactionDataset, apriori, association_rules
+from repro.mining import make_transaction_dataset
+
+
+@pytest.fixture
+def tiny():
+    matrix = np.array(
+        [
+            [1, 1, 0],
+            [1, 1, 1],
+            [1, 1, 0],
+            [0, 1, 1],
+            [1, 0, 0],
+        ],
+        dtype=bool,
+    )
+    return TransactionDataset(matrix=matrix, patterns=[])
+
+
+class TestApriori:
+    def test_exact_supports(self, tiny):
+        frequent = apriori(tiny, min_support=0.4)
+        assert frequent[frozenset({0})] == pytest.approx(0.8)
+        assert frequent[frozenset({1})] == pytest.approx(0.8)
+        assert frequent[frozenset({0, 1})] == pytest.approx(0.6)
+        assert frozenset({2}) in frequent  # support 0.4
+        assert frozenset({0, 2}) not in frequent  # support 0.2
+
+    def test_downward_closure(self):
+        """Every subset of a frequent set is frequent (Apriori property
+        must be visible in the output)."""
+        data = make_transaction_dataset(n_transactions=1000, random_state=0)
+        frequent = apriori(data, min_support=0.05)
+        from itertools import combinations
+
+        for itemset in frequent:
+            for r in range(1, len(itemset)):
+                for subset in combinations(sorted(itemset), r):
+                    assert frozenset(subset) in frequent
+
+    def test_supports_match_direct_counting(self):
+        data = make_transaction_dataset(n_transactions=500, random_state=1)
+        frequent = apriori(data, min_support=0.1)
+        for itemset, support in frequent.items():
+            assert support == pytest.approx(data.support(itemset))
+
+    def test_threshold_monotonic(self):
+        data = make_transaction_dataset(n_transactions=800, random_state=2)
+        loose = apriori(data, min_support=0.05)
+        tight = apriori(data, min_support=0.15)
+        assert set(tight) <= set(loose)
+
+    def test_max_length(self, tiny):
+        frequent = apriori(tiny, min_support=0.2, max_length=1)
+        assert all(len(s) == 1 for s in frequent)
+
+    def test_weighted_supports(self, tiny):
+        """Up-weighting the {1,2} transactions changes supports
+        accordingly."""
+        weights = np.array([1.0, 1.0, 1.0, 10.0, 1.0])
+        frequent = apriori(tiny, min_support=0.2, transaction_weights=weights)
+        # support({1,2}) = (1 + 10) / 14
+        assert frequent[frozenset({1, 2})] == pytest.approx(11 / 14)
+
+    def test_rejects_bad_args(self, tiny):
+        with pytest.raises(ParameterError):
+            apriori(tiny, min_support=0.0)
+        with pytest.raises(ParameterError):
+            apriori(tiny, min_support=0.5, max_length=0)
+        with pytest.raises(ParameterError):
+            apriori(tiny, min_support=0.5, transaction_weights=np.ones(3))
+
+
+class TestAssociationRules:
+    def test_confidence_computation(self, tiny):
+        frequent = apriori(tiny, min_support=0.2)
+        rules = association_rules(frequent, min_confidence=0.7)
+        by_pair = {
+            (tuple(sorted(r.antecedent)), tuple(sorted(r.consequent))): r
+            for r in rules
+        }
+        # conf({0} -> {1}) = 0.6 / 0.8 = 0.75
+        rule = by_pair[((0,), (1,))]
+        assert rule.confidence == pytest.approx(0.75)
+        assert rule.support == pytest.approx(0.6)
+        # lift = 0.75 / 0.8
+        assert rule.lift == pytest.approx(0.75 / 0.8)
+
+    def test_min_confidence_filters(self, tiny):
+        frequent = apriori(tiny, min_support=0.2)
+        strict = association_rules(frequent, min_confidence=0.99)
+        loose = association_rules(frequent, min_confidence=0.3)
+        assert len(strict) < len(loose)
+        assert all(r.confidence >= 0.99 for r in strict)
+
+    def test_sorted_by_confidence(self):
+        data = make_transaction_dataset(n_transactions=600, random_state=3)
+        rules = association_rules(
+            apriori(data, min_support=0.08), min_confidence=0.4
+        )
+        confidences = [r.confidence for r in rules]
+        assert confidences == sorted(confidences, reverse=True)
+
+    def test_rejects_bad_confidence(self, tiny):
+        with pytest.raises(ParameterError):
+            association_rules({}, min_confidence=0.0)

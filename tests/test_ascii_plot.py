@@ -1,0 +1,77 @@
+"""Tests for terminal plotting."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.utils import line_plot, scatter_plot
+
+
+class TestScatterPlot:
+    def test_dimensions(self):
+        art = scatter_plot(np.random.default_rng(0).random((30, 2)),
+                           width=20, height=8)
+        lines = art.splitlines()
+        assert len(lines) == 10  # frame + 8 rows + frame
+        assert all(len(line) == 22 for line in lines)
+
+    def test_points_drawn(self):
+        art = scatter_plot(np.array([[0.0, 0.0], [1.0, 1.0]]),
+                           width=10, height=5)
+        assert art.count(".") == 2
+
+    def test_orientation(self):
+        """Higher y must render nearer the top."""
+        art = scatter_plot(
+            np.array([[0.5, 1.0]]),
+            width=9, height=5,
+            bounds=((0.0, 0.0), (1.0, 1.0)),
+        )
+        body = art.splitlines()[1:-1]
+        assert "." in body[0]  # top row
+
+    def test_multiple_sets_get_glyphs(self):
+        art = scatter_plot(
+            [np.array([[0.0, 0.0]]), np.array([[1.0, 1.0]])],
+            width=10, height=5,
+        )
+        assert "." in art and "o" in art
+
+    def test_legend(self):
+        art = scatter_plot(
+            [np.zeros((1, 2))], labels=["data"], width=10, height=4
+        )
+        assert ".=data" in art
+
+    def test_empty_set_allowed(self):
+        art = scatter_plot(
+            [np.zeros((1, 2)), np.empty((0, 2))], width=10, height=4
+        )
+        assert "o" not in art
+
+    def test_rejects_3d_points(self):
+        with pytest.raises(ParameterError, match="2-D"):
+            scatter_plot(np.zeros((3, 3)))
+
+    def test_rejects_tiny_canvas(self):
+        with pytest.raises(ParameterError):
+            scatter_plot(np.zeros((1, 2)), width=1)
+
+
+class TestLinePlot:
+    def test_renders_series(self):
+        art = line_plot(
+            [0, 1, 2, 3],
+            {"up": [0, 1, 2, 3], "down": [3, 2, 1, 0]},
+            width=20, height=8,
+        )
+        assert "o=up" in art and "*=down" in art
+        assert "x: 0 .. 3" in art
+
+    def test_alignment_checked(self):
+        with pytest.raises(ParameterError, match="align"):
+            line_plot([0, 1, 2], {"s": [1, 2]})
+
+    def test_requires_series(self):
+        with pytest.raises(ParameterError):
+            line_plot([0, 1], {})

@@ -1,0 +1,78 @@
+"""Tests for full-dataset label assignment from a clustered sample."""
+
+import numpy as np
+import pytest
+
+from repro.clustering import CureClustering, assign_to_clusters
+from repro.clustering.base import ClusteringResult
+from repro.exceptions import ParameterError
+from repro.utils.streams import DataStream
+
+
+@pytest.fixture
+def blobs_and_sample():
+    rng = np.random.default_rng(0)
+    data = np.vstack(
+        [rng.normal(c, 0.08, size=(500, 2)) for c in ((0, 0), (3, 3))]
+    )
+    sample_idx = rng.choice(1000, size=150, replace=False)
+    return data, data[sample_idx]
+
+
+class TestAssignment:
+    def test_full_dataset_labelled(self, blobs_and_sample):
+        data, sample = blobs_and_sample
+        result = CureClustering(n_clusters=2).fit(sample)
+        labels = assign_to_clusters(data, result)
+        assert labels.shape == (1000,)
+        # Blob membership must be nearly pure.
+        first = np.bincount(labels[:500]).argmax()
+        second = np.bincount(labels[500:]).argmax()
+        assert first != second
+        assert (labels[:500] == first).mean() > 0.95
+        assert (labels[500:] == second).mean() > 0.95
+
+    def test_policies_agree_on_spherical_blobs(self, blobs_and_sample):
+        data, sample = blobs_and_sample
+        result = CureClustering(n_clusters=2).fit(sample)
+        by_reps = assign_to_clusters(data, result, policy="representatives")
+        by_centers = assign_to_clusters(data, result, policy="centers")
+        assert (by_reps == by_centers).mean() > 0.98
+
+    def test_representatives_follow_shape(self):
+        """For elongated clusters nearest-representative beats
+        nearest-center at the cluster tips."""
+        rng = np.random.default_rng(1)
+        stripe = np.column_stack(
+            [rng.uniform(0, 10, 400), rng.normal(0, 0.05, 400)]
+        )
+        blob = rng.normal((5.0, 2.0), 0.1, size=(400, 2))
+        data = np.vstack([stripe, blob])
+        result = CureClustering(n_clusters=2, remove_outliers=False).fit(data)
+        labels = assign_to_clusters(data, result, policy="representatives")
+        tip = data[np.argmax(data[:, 0])]  # far right stripe tip
+        tip_label = labels[np.argmax(data[:, 0])]
+        stripe_label = np.bincount(labels[:400]).argmax()
+        assert tip[1] < 0.5  # sanity: the tip is on the stripe
+        assert tip_label == stripe_label
+
+    def test_one_pass(self, blobs_and_sample):
+        data, sample = blobs_and_sample
+        result = CureClustering(n_clusters=2).fit(sample)
+        stream = DataStream(data)
+        assign_to_clusters(None, result, stream=stream)
+        assert stream.passes == 1
+
+    def test_rejects_unknown_policy(self, blobs_and_sample):
+        data, sample = blobs_and_sample
+        result = CureClustering(n_clusters=2).fit(sample)
+        with pytest.raises(ParameterError, match="policy"):
+            assign_to_clusters(data, result, policy="nearest")
+
+    def test_rejects_empty_result(self, blobs_and_sample):
+        data, _ = blobs_and_sample
+        empty = ClusteringResult(
+            labels=np.empty(0, dtype=np.int64), centers=np.empty((0, 2))
+        )
+        with pytest.raises(ParameterError, match="no clusters"):
+            assign_to_clusters(data, empty)

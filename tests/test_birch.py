@@ -1,0 +1,195 @@
+"""Tests for BIRCH and the CF-tree."""
+
+import numpy as np
+import pytest
+
+from repro.clustering import Birch
+from repro.clustering.birch import CFEntry, CFTree
+from repro.exceptions import ParameterError
+
+
+class TestCFEntry:
+    def test_from_point(self):
+        entry = CFEntry.from_point(np.array([1.0, 2.0]))
+        assert entry.n == 1
+        np.testing.assert_array_equal(entry.centroid, [1.0, 2.0])
+        assert entry.radius == 0.0
+
+    def test_absorb_updates_statistics(self):
+        a = CFEntry.from_point(np.array([0.0, 0.0]))
+        b = CFEntry.from_point(np.array([2.0, 0.0]))
+        a.absorb(b)
+        assert a.n == 2
+        np.testing.assert_array_equal(a.centroid, [1.0, 0.0])
+        assert a.radius == pytest.approx(1.0)
+
+    def test_merged_radius_predicts_absorb(self):
+        a = CFEntry.from_point(np.array([0.0, 0.0]))
+        b = CFEntry.from_point(np.array([2.0, 0.0]))
+        predicted = a.merged_radius(b)
+        a.absorb(b)
+        assert predicted == pytest.approx(a.radius)
+
+    def test_radius_never_negative(self):
+        entry = CFEntry(3.0, np.array([3.0, 3.0]), 6.0000000001)
+        assert entry.radius >= 0.0
+
+
+class TestCFTree:
+    def test_absorbs_within_threshold(self):
+        tree = CFTree(threshold=1.0, branching_factor=4)
+        tree.insert(CFEntry.from_point(np.array([0.0, 0.0])))
+        tree.insert(CFEntry.from_point(np.array([0.1, 0.0])))
+        assert tree.n_leaf_entries == 1
+
+    def test_separates_beyond_threshold(self):
+        tree = CFTree(threshold=0.01, branching_factor=4)
+        tree.insert(CFEntry.from_point(np.array([0.0, 0.0])))
+        tree.insert(CFEntry.from_point(np.array([5.0, 0.0])))
+        assert tree.n_leaf_entries == 2
+
+    def test_splits_preserve_entries(self):
+        rng = np.random.default_rng(0)
+        tree = CFTree(threshold=0.0, branching_factor=3)
+        pts = rng.random((50, 2))
+        for row in pts:
+            tree.insert(CFEntry.from_point(row))
+        leaves = tree.leaf_entries()
+        assert sum(e.n for e in leaves) == 50
+        assert tree.n_leaf_entries == 50
+
+    def test_total_cf_conserved(self):
+        rng = np.random.default_rng(1)
+        pts = rng.random((200, 3))
+        tree = CFTree(threshold=0.05, branching_factor=5)
+        for row in pts:
+            tree.insert(CFEntry.from_point(row))
+        leaves = tree.leaf_entries()
+        np.testing.assert_allclose(
+            np.sum([e.ls for e in leaves], axis=0), pts.sum(axis=0)
+        )
+        assert sum(e.n for e in leaves) == 200
+        assert sum(e.ss for e in leaves) == pytest.approx(
+            (pts**2).sum()
+        )
+
+
+class TestBirch:
+    @pytest.fixture
+    def blobs(self):
+        rng = np.random.default_rng(2)
+        return np.vstack(
+            [rng.normal(c, 0.08, size=(300, 2))
+             for c in ((0, 0), (3, 0), (0, 3))]
+        )
+
+    def test_recovers_blobs(self, blobs):
+        result = Birch(n_clusters=3, max_leaf_entries=100).fit(blobs)
+        assert sorted(result.sizes.tolist()) == [300, 300, 300]
+
+    def test_memory_budget_respected(self, blobs):
+        model = Birch(n_clusters=3, max_leaf_entries=40)
+        model.fit(blobs)
+        assert model.n_leaf_entries_ <= 40
+        assert model.n_rebuilds_ >= 1
+
+    def test_threshold_grows_on_rebuild(self, blobs):
+        model = Birch(n_clusters=3, threshold=0.0, max_leaf_entries=40)
+        model.fit(blobs)
+        assert model.final_threshold_ > 0.0
+
+    def test_labels_cover_input(self, blobs):
+        result = Birch(n_clusters=3, max_leaf_entries=60).fit(blobs)
+        assert result.labels.shape == (900,)
+        assert (result.labels >= 0).all()
+
+    def test_sizes_are_cf_counts(self, blobs):
+        result = Birch(n_clusters=3, max_leaf_entries=60).fit(blobs)
+        assert result.sizes.sum() == 900
+
+    def test_no_budget_keeps_initial_threshold(self, blobs):
+        model = Birch(n_clusters=3, threshold=0.2)
+        model.fit(blobs)
+        assert model.final_threshold_ == 0.2
+        assert model.n_rebuilds_ == 0
+
+    def test_fewer_points_than_clusters(self):
+        result = Birch(n_clusters=10).fit(np.random.default_rng(0).random((4, 2)))
+        assert result.n_clusters <= 4
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ParameterError):
+            Birch(n_clusters=0)
+        with pytest.raises(ParameterError):
+            Birch(branching_factor=1)
+        with pytest.raises(ParameterError):
+            Birch(threshold=-0.1)
+        with pytest.raises(ParameterError):
+            Birch(max_leaf_entries=1)
+
+    def test_rejects_sample_weight(self, blobs):
+        with pytest.raises(ParameterError, match="sample_weight"):
+            Birch(n_clusters=2).fit(blobs, sample_weight=np.ones(900))
+
+    def test_outlier_entry_discard_ignores_scatter(self):
+        """Sparse leaf entries (noise) are excluded from the global
+        phase, so scattered points cannot drag centers off the blobs."""
+        rng = np.random.default_rng(7)
+        blobs = np.vstack(
+            [rng.normal(c, 0.05, (400, 2)) for c in ((0, 0), (3, 3))]
+        )
+        noise = rng.uniform(-1, 4, size=(200, 2))
+        pts = np.vstack([blobs, noise])
+        with_discard = Birch(
+            n_clusters=2, max_leaf_entries=60, outlier_entry_fraction=1.0
+        ).fit(pts)
+        for target in ((0.0, 0.0), (3.0, 3.0)):
+            nearest = np.linalg.norm(
+                with_discard.centers - np.array(target), axis=1
+            ).min()
+            assert nearest < 0.4
+
+    def test_discard_disabled_keeps_all_entries(self):
+        rng = np.random.default_rng(8)
+        pts = rng.normal(0, 1, size=(300, 2))
+        model = Birch(
+            n_clusters=3, max_leaf_entries=50, outlier_entry_fraction=0.0
+        )
+        result = model.fit(pts)
+        assert result.n_clusters == 3
+
+    def test_discard_never_leaves_too_few_entries(self):
+        """One giant entry plus dust: the guard keeps >= n_clusters.
+
+        The threshold is small enough that the far singletons stay
+        separate entries (a large absorbing entry's RMS radius would
+        otherwise swallow them); the below-average discard would leave
+        only the giant entry without the guard.
+        """
+        pts = np.vstack(
+            [
+                np.random.default_rng(9).normal(0, 0.001, (500, 2)),
+                [[5.0, 5.0]],
+                [[9.0, 9.0]],
+            ]
+        )
+        model = Birch(n_clusters=3, threshold=0.05)
+        result = model.fit(pts)
+        assert model.n_leaf_entries_ == 3
+        assert result.n_clusters == 3
+
+    def test_rejects_negative_discard_fraction(self):
+        with pytest.raises(ParameterError):
+            Birch(outlier_entry_fraction=-0.5)
+
+    def test_insensitive_to_input_order(self, blobs):
+        """Shuffled input must produce the same global centers up to
+        tolerance (CF summarisation is order-dependent in the tree but
+        the global phase should land on the same blobs)."""
+        rng = np.random.default_rng(3)
+        shuffled = blobs[rng.permutation(blobs.shape[0])]
+        a = Birch(n_clusters=3, max_leaf_entries=100).fit(blobs)
+        b = Birch(n_clusters=3, max_leaf_entries=100).fit(shuffled)
+        for center in a.centers:
+            nearest = np.linalg.norm(b.centers - center, axis=1).min()
+            assert nearest < 0.3

@@ -1,0 +1,81 @@
+"""Tests for the cell-based exact DB(p, k) detector."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.outliers import CellBasedOutlierDetector, IndexedOutlierDetector
+from repro.outliers.cell_based import _ring_offsets
+
+
+class TestRingOffsets:
+    def test_l1_count_2d(self):
+        assert len(_ring_offsets(2, 1, 1)) == 8  # the 3x3 ring minus center
+
+    def test_l2_count_2d(self):
+        # rings 2..3 of a 7x7 neighbourhood: 49 - 9 = 40 cells.
+        assert len(_ring_offsets(2, 2, 3)) == 40
+
+    def test_no_zero_offset(self):
+        assert (0, 0) not in _ring_offsets(2, 1, 3)
+
+    def test_1d(self):
+        assert set(_ring_offsets(1, 1, 2)) == {(-2,), (-1,), (1,), (2,)}
+
+
+class TestCellBasedDetector:
+    def test_simple_outlier(self):
+        rng = np.random.default_rng(0)
+        data = np.vstack([rng.normal(0, 0.05, (300, 2)), [[2.0, 2.0]]])
+        result = CellBasedOutlierDetector(k=0.5, p=0).detect(data)
+        assert result.indices.tolist() == [300]
+        assert result.neighbor_counts.tolist() == [0]
+
+    @pytest.mark.parametrize("d", [1, 2, 3])
+    @pytest.mark.parametrize("p", [0, 3, 10])
+    def test_agrees_with_kdtree(self, d, p):
+        rng = np.random.default_rng(d * 10 + p)
+        data = np.vstack(
+            [
+                rng.normal(0.0, 0.08, size=(400, d)),
+                rng.uniform(-1.0, 1.0, size=(100, d)),
+            ]
+        )
+        k = 0.15
+        cell = CellBasedOutlierDetector(k=k, p=p).detect(data)
+        tree = IndexedOutlierDetector(k=k, p=p).detect(data)
+        np.testing.assert_array_equal(cell.indices, tree.indices)
+        np.testing.assert_array_equal(
+            cell.neighbor_counts, tree.neighbor_counts
+        )
+
+    def test_whole_cell_outlier_branch(self):
+        """A far-away pair within k of each other: both outliers at
+        p=1, with exact neighbour count 1."""
+        rng = np.random.default_rng(1)
+        blob = rng.normal(0, 0.02, (200, 2))
+        pair = np.array([[5.0, 5.0], [5.01, 5.0]])
+        data = np.vstack([blob, pair])
+        result = CellBasedOutlierDetector(k=0.3, p=1).detect(data)
+        assert set(result.indices.tolist()) == {200, 201}
+        assert result.neighbor_counts.tolist() == [1, 1]
+
+    def test_fraction_parameter(self):
+        rng = np.random.default_rng(2)
+        data = np.vstack([rng.normal(0, 0.05, (500, 2)), [[3.0, 3.0]]])
+        result = CellBasedOutlierDetector(k=0.5, fraction=0.002).detect(data)
+        assert 501 - 1 in result.indices
+
+    def test_rejects_high_dimensions(self):
+        with pytest.raises(ParameterError, match="d <= 4"):
+            CellBasedOutlierDetector(k=0.1, p=0).detect(np.zeros((10, 6)))
+
+    def test_no_outliers(self):
+        data = np.random.default_rng(3).normal(0, 0.01, (200, 2))
+        result = CellBasedOutlierDetector(k=0.5, p=3).detect(data)
+        assert len(result) == 0
+
+    def test_everything_outlier(self):
+        data = np.array([[0.0, 0.0], [10.0, 0.0], [0.0, 10.0]])
+        result = CellBasedOutlierDetector(k=1.0, p=2).detect(data)
+        assert len(result) == 3

@@ -1,0 +1,78 @@
+"""Tests for CLARANS randomized K-medoids."""
+
+import numpy as np
+import pytest
+
+from repro.clustering import Clarans, KMedoids
+from repro.exceptions import ParameterError
+
+
+@pytest.fixture
+def blobs():
+    rng = np.random.default_rng(0)
+    return np.vstack(
+        [rng.normal(c, 0.1, size=(50, 2)) for c in ((0, 0), (3, 3), (0, 3))]
+    )
+
+
+class TestClarans:
+    def test_recovers_blobs(self, blobs):
+        result = Clarans(n_clusters=3, random_state=0).fit(blobs)
+        assert sorted(result.sizes.tolist()) == [50, 50, 50]
+
+    def test_medoids_are_data_points(self, blobs):
+        result = Clarans(n_clusters=3, random_state=0).fit(blobs)
+        rows = {tuple(r) for r in blobs}
+        assert all(tuple(c) in rows for c in result.centers)
+
+    def test_cost_close_to_pam(self, blobs):
+        """Randomized search should land near PAM's optimum."""
+        clarans = Clarans(n_clusters=3, num_local=3, random_state=0)
+        clarans.fit(blobs)
+        pam = KMedoids(n_clusters=3)
+        pam.fit(blobs)
+        assert clarans.cost_ <= pam.cost_ * 1.15
+
+    def test_deterministic_given_seed(self, blobs):
+        a = Clarans(n_clusters=3, random_state=5).fit(blobs)
+        b = Clarans(n_clusters=3, random_state=5).fit(blobs)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_more_local_searches_never_hurt(self, blobs):
+        one = Clarans(n_clusters=3, num_local=1, random_state=1)
+        one.fit(blobs)
+        many = Clarans(n_clusters=3, num_local=4, random_state=1)
+        many.fit(blobs)
+        assert many.cost_ <= one.cost_ + 1e-9
+
+    def test_weighted(self):
+        pts = np.array([[0.0], [1.0], [10.0]])
+        result = Clarans(n_clusters=1, random_state=0).fit(
+            pts, sample_weight=np.array([1.0, 1.0, 50.0])
+        )
+        assert result.centers[0, 0] == 10.0
+
+    def test_single_cluster(self, blobs):
+        result = Clarans(n_clusters=1, random_state=0).fit(blobs)
+        assert result.n_clusters == 1
+        assert result.sizes[0] == 150
+
+    def test_weight_shape_checked(self, blobs):
+        with pytest.raises(ParameterError, match="sample_weight"):
+            Clarans(n_clusters=2, random_state=0).fit(
+                blobs, sample_weight=np.ones(3)
+            )
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ParameterError):
+            Clarans(n_clusters=0)
+        with pytest.raises(ParameterError):
+            Clarans(num_local=0)
+        with pytest.raises(ParameterError):
+            Clarans(max_neighbors=0)
+
+    def test_explicit_max_neighbors(self, blobs):
+        result = Clarans(
+            n_clusters=3, max_neighbors=50, random_state=0
+        ).fit(blobs)
+        assert result.n_clusters == 3

@@ -1,0 +1,46 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_list_command(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "fig4"])
+        assert args.experiment == "fig4"
+        assert args.scale == 0.2
+        assert args.seed == 0
+
+    def test_run_options(self):
+        args = build_parser().parse_args(
+            ["run", "fig5", "--scale", "0.5", "--seed", "7"]
+        )
+        assert args.scale == 0.5
+        assert args.seed == 7
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestMain:
+    def test_list_output(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig4" in out
+        assert "outliers" in out
+        assert "Figure 2" in out
+
+    def test_run_theorem1(self, capsys):
+        assert main(["run", "theorem1", "--scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "motivating example" in out
+
+    def test_unknown_experiment_fails_cleanly(self, capsys):
+        assert main(["run", "fig99"]) == 1
+        assert "unknown experiment" in capsys.readouterr().err

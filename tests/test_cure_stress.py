@@ -1,0 +1,92 @@
+"""Stress tests: CURE's incremental state under adversarial schedules.
+
+The nearest-neighbour arrays, heap, and representative pool interact
+through merges, outlier elimination, and pool compaction; these tests
+drive long mixed schedules and verify the invariants the fast path
+relies on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.clustering import CureClustering
+
+
+@pytest.mark.parametrize("seed", range(4))
+@pytest.mark.parametrize("remove_outliers", [True, False])
+def test_random_workloads_terminate_consistently(seed, remove_outliers):
+    """Random mixed-density data with duplicates and collinear runs."""
+    rng = np.random.default_rng(seed)
+    parts = [
+        rng.normal(rng.random(2), 0.05, size=(rng.integers(20, 80), 2))
+        for _ in range(5)
+    ]
+    parts.append(np.repeat(rng.random((3, 2)), 5, axis=0))  # duplicates
+    line = np.column_stack(
+        [np.linspace(0, 1, 30), np.full(30, 0.77)]
+    )  # collinear chain
+    parts.append(line)
+    pts = np.vstack(parts)
+    result = CureClustering(
+        n_clusters=6, remove_outliers=remove_outliers
+    ).fit(pts)
+    assert result.n_clusters <= 6
+    labelled = result.labels >= 0
+    # Labels and sizes agree.
+    for cluster in range(result.n_clusters):
+        assert (result.labels == cluster).sum() == result.sizes[cluster]
+    if not remove_outliers:
+        assert labelled.all()
+    # Every representative set is non-empty and finite.
+    for reps in result.representatives:
+        assert reps.shape[0] >= 1
+        assert np.isfinite(reps).all()
+
+
+def test_merge_to_single_cluster():
+    """Run the hierarchy all the way down to one cluster."""
+    rng = np.random.default_rng(9)
+    pts = rng.random((150, 3))
+    result = CureClustering(n_clusters=1, remove_outliers=False).fit(pts)
+    assert result.n_clusters == 1
+    assert result.sizes[0] == 150
+
+
+def test_heap_state_consistent_mid_run():
+    """After elimination, every heap key matches the dense arrays."""
+    rng = np.random.default_rng(11)
+    pts = np.vstack(
+        [
+            rng.normal((0, 0), 0.05, size=(60, 2)),
+            rng.normal((1, 1), 0.05, size=(60, 2)),
+            rng.uniform(-0.5, 1.5, size=(15, 2)),
+        ]
+    )
+    model = CureClustering(n_clusters=2, remove_outliers=True)
+    original = model._eliminate_outliers
+
+    checked = {}
+
+    def check_and_eliminate():
+        original()
+        # Invariant: heap keys mirror _closest_dist for every live id.
+        for cid in model._clusters:
+            checked[cid] = True
+            assert cid in model._heap
+            assert model._heap.key_of(cid) == pytest.approx(
+                float(model._closest_dist[cid])
+            )
+            assert int(model._closest_id[cid]) in model._clusters
+
+    model._eliminate_outliers = check_and_eliminate
+    model.fit(pts)
+    assert checked  # the elimination hook actually ran
+
+
+def test_sweep_counter_monotone():
+    rng = np.random.default_rng(13)
+    small = CureClustering(n_clusters=5, remove_outliers=False)
+    small.fit(rng.random((100, 2)))
+    large = CureClustering(n_clusters=5, remove_outliers=False)
+    large.fit(rng.random((400, 2)))
+    assert large.n_distance_sweeps_ > small.n_distance_sweeps_

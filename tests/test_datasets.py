@@ -1,0 +1,241 @@
+"""Tests for the dataset generators."""
+
+import os
+import tempfile
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    california_dataset,
+    cure_dataset1,
+    ds1_dataset,
+    ds2_dataset,
+    forest_cover_dataset,
+    load_dataset,
+    make_clustered_dataset,
+    make_fig4_dataset,
+    make_fig5_dataset,
+    make_outlier_dataset,
+    northeast_dataset,
+    save_dataset,
+)
+from repro.datasets.synthetic import NOISE_LABEL, add_noise
+from repro.exceptions import DataValidationError, ParameterError
+from repro.outliers import IndexedOutlierDetector
+
+
+class TestClusteredGenerator:
+    def test_point_and_label_counts(self):
+        data = make_clustered_dataset(
+            n_points=2000, n_clusters=5, noise_fraction=0.25, random_state=0
+        )
+        assert data.n_points == 2500
+        assert (data.labels == NOISE_LABEL).sum() == 500
+        assert data.n_clusters == 5
+
+    def test_labels_match_shapes(self):
+        data = make_clustered_dataset(
+            n_points=3000, n_clusters=4, random_state=1
+        )
+        for label, shape in enumerate(data.clusters):
+            members = data.points[data.labels == label]
+            assert shape.contains(members).all()
+
+    def test_cluster_sizes_sum(self):
+        data = make_clustered_dataset(
+            n_points=1000, n_clusters=3, noise_fraction=0.1, random_state=2
+        )
+        assert data.cluster_sizes().sum() == 1000
+
+    def test_density_ratio_realised(self):
+        data = make_clustered_dataset(
+            n_points=50_000, n_clusters=6, density_ratio=10.0, random_state=3
+        )
+        densities = [
+            (data.labels == i).sum() / shape.volume
+            for i, shape in enumerate(data.clusters)
+        ]
+        assert max(densities) / min(densities) > 4.0
+
+    def test_size_ratio_realised(self):
+        data = make_clustered_dataset(
+            n_points=50_000, n_clusters=6, size_ratio=10.0, random_state=4
+        )
+        sizes = data.cluster_sizes()
+        assert sizes.max() / sizes.min() > 4.0
+
+    def test_dimensionality(self):
+        for d in (2, 3, 5):
+            data = make_clustered_dataset(
+                n_points=500, n_clusters=3, n_dims=d, random_state=0
+            )
+            assert data.n_dims == d
+
+    def test_deterministic(self):
+        a = make_clustered_dataset(n_points=500, n_clusters=3, random_state=7)
+        b = make_clustered_dataset(n_points=500, n_clusters=3, random_state=7)
+        np.testing.assert_array_equal(a.points, b.points)
+
+    def test_shuffled(self):
+        data = make_clustered_dataset(
+            n_points=2000, n_clusters=4, random_state=0
+        )
+        # Labels must not be sorted (generation order destroyed).
+        assert (np.diff(data.labels) < 0).any()
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ParameterError):
+            make_clustered_dataset(n_points=5, n_clusters=10)
+        with pytest.raises(ParameterError):
+            make_clustered_dataset(density_ratio=0.5)
+
+    def test_add_noise(self):
+        base = make_clustered_dataset(
+            n_points=1000, n_clusters=3, random_state=0
+        )
+        noisy = add_noise(base, 0.5, random_state=1)
+        assert noisy.n_points == 1500
+        assert noisy.noise_fraction == 0.5
+
+
+class TestNamedConfigurations:
+    def test_fig4_configuration(self):
+        data = make_fig4_dataset(
+            n_dims=3, noise_fraction=0.4, n_points=5000, random_state=0
+        )
+        assert data.n_dims == 3
+        assert data.n_clusters == 10
+        assert data.n_points == 7000
+
+    def test_fig5_density_spread(self):
+        data = make_fig5_dataset(n_points=50_000, random_state=0)
+        sizes = data.cluster_sizes()
+        assert sizes.max() / sizes.min() > 3.0
+
+    def test_ds1_equal_clusters(self):
+        data = ds1_dataset(n_points=10_000, random_state=0)
+        sizes = data.cluster_sizes()
+        assert sizes.max() - sizes.min() <= 1
+        assert data.noise_fraction == 0.5
+
+    def test_ds2_variable_clusters(self):
+        data = ds2_dataset(n_points=10_000, random_state=0)
+        sizes = data.cluster_sizes()
+        assert sizes.max() / sizes.min() > 5.0
+        assert data.noise_fraction == 0.2
+
+
+class TestCureDataset:
+    def test_five_clusters(self):
+        data = cure_dataset1(n_points=5000, random_state=0)
+        assert data.n_clusters == 5
+        assert data.n_dims == 2
+
+    def test_large_cluster_dominates(self):
+        data = cure_dataset1(n_points=10_000, random_state=0)
+        sizes = data.cluster_sizes()
+        assert sizes[0] == sizes.max()
+        assert sizes[0] >= 0.45 * 10_000
+
+    def test_points_inside_shapes(self):
+        data = cure_dataset1(n_points=3000, random_state=1)
+        for label, shape in enumerate(data.clusters):
+            members = data.points[data.labels == label]
+            assert shape.contains(members).all()
+
+    def test_rejects_tiny(self):
+        with pytest.raises(ParameterError):
+            cure_dataset1(n_points=50)
+
+
+class TestGeospatial:
+    @pytest.mark.parametrize(
+        "factory,n_metros", [(northeast_dataset, 3), (california_dataset, 3)]
+    )
+    def test_structure(self, factory, n_metros):
+        data = factory(n_points=20_000, random_state=0)
+        assert data.n_clusters == n_metros
+        assert data.n_dims == 2
+        # Metro cores hold a large minority; scatter dominates the rest.
+        metro_points = (data.labels >= 0).sum()
+        assert 0.2 < metro_points / data.n_points < 0.8
+
+    def test_metros_are_dense(self):
+        data = northeast_dataset(n_points=50_000, random_state=0)
+        overall_density = data.n_points  # unit square
+        for shape in data.clusters:
+            inside = shape.contains(data.points).sum()
+            assert inside / shape.volume > 5 * overall_density
+
+
+class TestForest:
+    def test_shape(self):
+        data = forest_cover_dataset(n_points=5000, n_dims=6, random_state=0)
+        assert data.n_dims == 6
+        assert data.n_clusters == 7
+
+    def test_imbalanced_classes(self):
+        data = forest_cover_dataset(n_points=20_000, random_state=0)
+        sizes = data.cluster_sizes()
+        assert sizes.max() / max(sizes.min(), 1) > 5.0
+
+
+class TestOutlierDataset:
+    def test_planted_points_are_db_outliers(self):
+        data = make_outlier_dataset(
+            n_points=3000, n_outliers=8, random_state=0
+        )
+        exact = IndexedOutlierDetector(
+            k=data.guaranteed_radius, p=0
+        ).detect(data.points)
+        assert set(data.outlier_indices.tolist()) <= set(
+            exact.indices.tolist()
+        )
+
+    def test_indices_point_at_planted_rows(self):
+        data = make_outlier_dataset(
+            n_points=2000, n_outliers=5, random_state=1
+        )
+        # Every planted row must be far from all other rows.
+        for idx in data.outlier_indices:
+            d = np.linalg.norm(data.points - data.points[idx], axis=1)
+            d[idx] = np.inf
+            assert d.min() >= data.guaranteed_radius
+
+    def test_zero_outliers(self):
+        data = make_outlier_dataset(
+            n_points=1000, n_outliers=0, random_state=0
+        )
+        assert data.outlier_indices.shape == (0,)
+
+    def test_impossible_separation_raises(self):
+        with pytest.raises(ParameterError, match="separation"):
+            make_outlier_dataset(
+                n_points=2000, n_outliers=500, separation=0.5, random_state=0
+            )
+
+
+class TestLoaders:
+    def test_roundtrip(self):
+        data = make_clustered_dataset(
+            n_points=500, n_clusters=3, noise_fraction=0.2, random_state=0
+        )
+        with tempfile.TemporaryDirectory() as tmp:
+            path = os.path.join(tmp, "data.npz")
+            save_dataset(data, path)
+            loaded = load_dataset(path)
+        np.testing.assert_array_equal(loaded.points, data.points)
+        np.testing.assert_array_equal(loaded.labels, data.labels)
+        assert loaded.noise_fraction == data.noise_fraction
+
+    def test_missing_file(self):
+        with pytest.raises(DataValidationError, match="no dataset file"):
+            load_dataset("/nonexistent/file.npz")
+
+    def test_wrong_archive(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            path = os.path.join(tmp, "other.npz")
+            np.savez(path, foo=np.zeros(3))
+            with pytest.raises(DataValidationError, match="not a repro"):
+                load_dataset(path)

@@ -1,0 +1,147 @@
+"""Tests for the weighted CART decision tree."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NotFittedError, ParameterError
+from repro.mining import DecisionTreeClassifier, make_classification_dataset
+
+
+class TestBasics:
+    def test_axis_aligned_split(self):
+        x = np.array([[0.0], [1.0], [2.0], [3.0]])
+        y = np.array([0, 0, 1, 1])
+        tree = DecisionTreeClassifier(max_depth=2).fit(x, y)
+        assert tree.predict([[0.5], [2.5]]).tolist() == [0, 1]
+        assert tree.depth() == 1
+
+    def test_xor_needs_depth_two(self):
+        rng = np.random.default_rng(0)
+        x = rng.random((400, 2))
+        y = ((x[:, 0] > 0.5) ^ (x[:, 1] > 0.5)).astype(int)
+        shallow = DecisionTreeClassifier(max_depth=1).fit(x, y)
+        deep = DecisionTreeClassifier(max_depth=3).fit(x, y)
+        assert deep.score(x, y) > 0.95
+        assert shallow.score(x, y) < 0.8
+
+    def test_pure_node_stops(self):
+        x = np.array([[0.0], [1.0], [2.0]])
+        y = np.array([1, 1, 1])
+        tree = DecisionTreeClassifier(max_depth=5).fit(x, y)
+        assert tree.n_nodes_ == 1
+        assert tree.predict([[10.0]])[0] == 1
+
+    def test_max_depth_zero_is_majority_vote(self):
+        x = np.array([[0.0], [1.0], [2.0]])
+        y = np.array([0, 1, 1])
+        tree = DecisionTreeClassifier(max_depth=0).fit(x, y)
+        assert (tree.predict(x) == 1).all()
+
+    def test_min_samples_leaf(self):
+        x = np.arange(10, dtype=float).reshape(-1, 1)
+        y = (np.arange(10) >= 9).astype(int)  # 9:1 split needed
+        tree = DecisionTreeClassifier(
+            max_depth=3, min_samples_leaf=3
+        ).fit(x, y)
+        # The only useful cut (after index 9) violates the leaf
+        # minimum, so the tree must refuse to split there.
+        assert all(
+            node_count >= 3
+            for node_count in _leaf_raw_counts(tree, x)
+        )
+
+    def test_generalisation_on_blobs(self):
+        x, y = make_classification_dataset(n_points=6000, random_state=0)
+        tree = DecisionTreeClassifier(max_depth=8).fit(x[:5000], y[:5000])
+        assert tree.score(x[5000:], y[5000:]) > 0.75
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            DecisionTreeClassifier().predict([[0.0]])
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ParameterError):
+            DecisionTreeClassifier(max_depth=-1)
+        with pytest.raises(ParameterError):
+            DecisionTreeClassifier(min_samples_leaf=0)
+        with pytest.raises(ParameterError):
+            DecisionTreeClassifier(min_impurity_decrease=-0.1)
+
+    def test_label_validation(self):
+        tree = DecisionTreeClassifier()
+        with pytest.raises(ParameterError):
+            tree.fit(np.zeros((3, 1)), np.array([0, 1]))
+        with pytest.raises(ParameterError):
+            tree.fit(np.zeros((3, 1)), np.array([0, -1, 1]))
+
+
+def _leaf_raw_counts(tree, x):
+    """Raw training-point count reaching each leaf."""
+    counts = {}
+    for row in x:
+        node = tree.root_
+        while not node.is_leaf:
+            node = node.left if row[node.feature] <= node.threshold else node.right
+        counts[id(node)] = counts.get(id(node), 0) + 1
+    return list(counts.values())
+
+
+class TestWeights:
+    def test_weights_flip_majority(self):
+        x = np.array([[0.0], [0.1], [0.2]])
+        y = np.array([0, 0, 1])
+        heavy = DecisionTreeClassifier(max_depth=0).fit(
+            x, y, sample_weight=np.array([1.0, 1.0, 10.0])
+        )
+        assert heavy.predict([[0.0]])[0] == 1
+
+    def test_weights_shift_split(self):
+        """Weighting a region more should win the first split for its
+        separating feature."""
+        rng = np.random.default_rng(1)
+        n = 400
+        x = rng.random((n, 2))
+        # Feature 0 separates classes weakly, feature 1 strongly but
+        # only for the first half of the data.
+        y = (x[:, 1] > 0.5).astype(int)
+        y[200:] = (x[200:, 0] > 0.5).astype(int)
+        w_first = np.ones(n)
+        w_first[:200] = 25.0
+        tree = DecisionTreeClassifier(max_depth=1).fit(
+            x, y, sample_weight=w_first
+        )
+        assert tree.root_.feature == 1
+
+    def test_biased_sample_with_weights_matches_full_tree(self):
+        """Train on an inverse-probability-weighted biased sample and
+        compare test accuracy against full-data training."""
+        from repro.core import DensityBiasedSampler
+
+        x, y = make_classification_dataset(
+            n_points=20_000, n_classes=3, random_state=2
+        )
+        train_x, train_y = x[:16_000], y[:16_000]
+        test_x, test_y = x[16_000:], y[16_000:]
+        full = DecisionTreeClassifier(max_depth=6).fit(train_x, train_y)
+        sample = DensityBiasedSampler(
+            sample_size=1500, exponent=0.5, random_state=0
+        ).sample(train_x)
+        biased = DecisionTreeClassifier(max_depth=6).fit(
+            sample.points,
+            train_y[sample.indices],
+            sample_weight=sample.weights,
+        )
+        assert biased.score(test_x, test_y) >= full.score(test_x, test_y) - 0.08
+
+    def test_weight_validation(self):
+        tree = DecisionTreeClassifier()
+        with pytest.raises(ParameterError):
+            tree.fit(
+                np.zeros((3, 1)), np.zeros(3, dtype=int),
+                sample_weight=np.ones(2),
+            )
+        with pytest.raises(ParameterError):
+            tree.fit(
+                np.zeros((3, 1)), np.zeros(3, dtype=int),
+                sample_weight=-np.ones(3),
+            )

@@ -1,0 +1,163 @@
+"""Failure injection: degenerate datasets through every pipeline.
+
+Duplicated points, constant attributes, single points, and exact grids
+are the classic ways numeric code divides by zero; every public
+algorithm must either handle them or refuse loudly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import GridBiasedSampler
+from repro.clustering import (
+    AgglomerativeClustering,
+    Birch,
+    Clarans,
+    CureClustering,
+    KMeans,
+    KMedoids,
+)
+from repro.core import DensityBiasedSampler, UniformSampler
+from repro.density import (
+    DctDensityEstimator,
+    GridDensityEstimator,
+    KernelDensityEstimator,
+    KnnDensityEstimator,
+    WaveletDensityEstimator,
+)
+from repro.outliers import (
+    ApproximateOutlierDetector,
+    CellBasedOutlierDetector,
+    IndexedOutlierDetector,
+    NestedLoopOutlierDetector,
+)
+
+ALL_IDENTICAL = np.full((200, 2), 3.7)
+CONSTANT_COLUMN = np.column_stack(
+    [np.linspace(0, 1, 200), np.full(200, 5.0)]
+)
+SINGLE_POINT = np.array([[1.0, 2.0]])
+EXACT_GRID = np.array(
+    [[float(i), float(j)] for i in range(10) for j in range(10)]
+)
+
+DATASETS = {
+    "identical": ALL_IDENTICAL,
+    "constant_column": CONSTANT_COLUMN,
+    "grid": EXACT_GRID,
+}
+
+
+@pytest.mark.parametrize("name,data", DATASETS.items())
+class TestEstimatorsOnDegenerateData:
+    @pytest.mark.parametrize(
+        "estimator_factory",
+        [
+            lambda: KernelDensityEstimator(n_kernels=32, random_state=0),
+            lambda: GridDensityEstimator(bins_per_dim=4),
+            lambda: KnnDensityEstimator(n_sample=50, k=3, random_state=0),
+            lambda: WaveletDensityEstimator(bins_per_dim=4,
+                                            n_coefficients=8),
+            lambda: DctDensityEstimator(bins_per_dim=4, n_coefficients=8),
+        ],
+        ids=["kde", "grid", "knn", "wavelet", "dct"],
+    )
+    def test_fit_and_evaluate_finite(self, name, data, estimator_factory):
+        estimator = estimator_factory().fit(data)
+        values = estimator.evaluate(data[:10])
+        assert np.isfinite(values).all()
+        assert (values >= 0).all()
+
+
+@pytest.mark.parametrize("name,data", DATASETS.items())
+class TestSamplersOnDegenerateData:
+    @pytest.mark.parametrize("exponent", [1.0, 0.0, -0.5])
+    def test_biased_sampler_survives(self, name, data, exponent):
+        sample = DensityBiasedSampler(
+            sample_size=20, exponent=exponent, random_state=0,
+            estimator=KernelDensityEstimator(n_kernels=16, random_state=0),
+        ).sample(data)
+        assert len(sample) <= data.shape[0]
+        assert np.isfinite(sample.probabilities).all()
+
+    def test_grid_sampler_survives(self, name, data):
+        sample = GridBiasedSampler(
+            sample_size=20, exponent=-0.5, random_state=0
+        ).sample(data)
+        assert np.isfinite(sample.probabilities).all()
+
+    def test_uniform_sampler_survives(self, name, data):
+        assert len(UniformSampler(20, random_state=0).sample(data)) >= 0
+
+
+class TestClusterersOnDegenerateData:
+    @pytest.mark.parametrize(
+        "clusterer_factory",
+        [
+            lambda: KMeans(n_clusters=2, random_state=0),
+            lambda: KMedoids(n_clusters=2),
+            lambda: Clarans(n_clusters=2, random_state=0),
+            lambda: AgglomerativeClustering(n_clusters=2),
+            lambda: CureClustering(n_clusters=2, remove_outliers=False),
+            lambda: Birch(n_clusters=2),
+        ],
+        ids=["kmeans", "kmedoids", "clarans", "agglo", "cure", "birch"],
+    )
+    def test_identical_points_form_clusters(self, clusterer_factory):
+        result = clusterer_factory().fit(ALL_IDENTICAL[:40])
+        assert result.labels.shape == (40,)
+        assert np.isfinite(result.centers).all()
+
+    def test_single_point_kmeans(self):
+        result = KMeans(n_clusters=1, random_state=0).fit(SINGLE_POINT)
+        np.testing.assert_array_equal(result.centers, SINGLE_POINT)
+
+    def test_constant_column_cure(self):
+        result = CureClustering(
+            n_clusters=2, remove_outliers=False
+        ).fit(CONSTANT_COLUMN)
+        assert result.n_clusters == 2
+
+
+class TestOutliersOnDegenerateData:
+    @pytest.mark.parametrize(
+        "detector_factory",
+        [
+            lambda: NestedLoopOutlierDetector(k=0.5, p=0),
+            lambda: IndexedOutlierDetector(k=0.5, p=0),
+            lambda: CellBasedOutlierDetector(k=0.5, p=0),
+        ],
+        ids=["nested", "indexed", "cell"],
+    )
+    def test_identical_points_have_no_outliers(self, detector_factory):
+        result = detector_factory().detect(ALL_IDENTICAL)
+        assert len(result) == 0
+
+    def test_approximate_on_identical_points(self):
+        result = ApproximateOutlierDetector(
+            k=0.5, p=0, random_state=0
+        ).detect(ALL_IDENTICAL)
+        assert len(result) == 0
+
+    def test_single_point_is_outlier(self):
+        result = IndexedOutlierDetector(k=1.0, p=0).detect(SINGLE_POINT)
+        assert result.indices.tolist() == [0]
+
+
+class TestMiningOnDegenerateData:
+    def test_tree_on_constant_features(self):
+        from repro.mining import DecisionTreeClassifier
+
+        x = np.full((50, 2), 1.0)
+        y = np.array([0] * 25 + [1] * 25)
+        tree = DecisionTreeClassifier(max_depth=3).fit(x, y)
+        # No split possible: majority leaf.
+        assert tree.n_nodes_ == 1
+
+    def test_apriori_on_empty_transactions(self):
+        from repro.mining import TransactionDataset, apriori
+
+        data = TransactionDataset(
+            matrix=np.zeros((10, 5), dtype=bool), patterns=[]
+        )
+        assert apriori(data, min_support=0.1) == {}

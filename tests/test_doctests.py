@@ -1,0 +1,38 @@
+"""Execute the documentation examples embedded in the library.
+
+Every public docstring example is a tiny contract; this module runs
+them all so the docs cannot drift from the code.
+"""
+
+import doctest
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+# Discover every repro submodule once at collection time.
+_MODULES = sorted(
+    name
+    for _, name, __ in pkgutil.walk_packages(
+        repro.__path__, prefix="repro."
+    )
+    # __main__ executes the CLI on import; it has no doctests.
+    if name != "repro.__main__"
+)
+
+
+@pytest.mark.parametrize("module_name", _MODULES)
+def test_module_doctests(module_name):
+    module = importlib.import_module(module_name)
+    results = doctest.testmod(
+        module,
+        optionflags=doctest.NORMALIZE_WHITESPACE | doctest.ELLIPSIS,
+    )
+    assert results.failed == 0, f"{results.failed} doctest failure(s)"
+
+
+def test_discovery_found_the_library():
+    assert "repro.core.biased" in _MODULES
+    assert len(_MODULES) > 30

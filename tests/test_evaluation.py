@@ -1,0 +1,177 @@
+"""Tests for the paper's evaluation criteria."""
+
+import numpy as np
+import pytest
+
+from repro.clustering.base import ClusteringResult
+from repro.core import DensityBiasedSampler, UniformSampler
+from repro.datasets import HyperRectangle, make_clustered_dataset
+from repro.evaluation import (
+    birch_found_clusters,
+    count_found_clusters,
+    density_order_preservation,
+    found_clusters,
+    noise_fraction_in_sample,
+    outlier_precision_recall,
+    sample_share_per_cluster,
+)
+from repro.exceptions import ParameterError
+
+
+def _result_with_reps(reps_list, centers=None):
+    n_clusters = len(reps_list)
+    centers = (
+        np.array(centers)
+        if centers is not None
+        else np.vstack(
+            [
+                np.asarray(r, dtype=float).mean(axis=0)
+                if len(r)
+                else np.zeros(2)
+                for r in reps_list
+            ]
+        )
+    )
+    return ClusteringResult(
+        labels=np.zeros(1, dtype=np.int64),
+        centers=centers,
+        representatives=[np.asarray(r, dtype=float) for r in reps_list],
+        sizes=np.ones(n_clusters, dtype=np.int64),
+    )
+
+
+TRUE = [
+    HyperRectangle([0.0, 0.0], [1.0, 1.0]),
+    HyperRectangle([2.0, 2.0], [3.0, 3.0]),
+]
+
+
+class TestFoundClusters:
+    def test_clean_match(self):
+        result = _result_with_reps(
+            [np.full((10, 2), 0.5), np.full((10, 2), 2.5)]
+        )
+        assert found_clusters(result, TRUE) == {0, 1}
+
+    def test_straddling_cluster_claims_nothing(self):
+        straddle = np.vstack([np.full((5, 2), 0.5), np.full((5, 2), 2.5)])
+        result = _result_with_reps([straddle])
+        assert found_clusters(result, TRUE) == set()
+
+    def test_threshold_exactly_90pct(self):
+        reps = np.vstack([np.full((9, 2), 0.5), [[10.0, 10.0]]])
+        result = _result_with_reps([reps])
+        assert found_clusters(result, TRUE, threshold=0.9) == {0}
+        assert found_clusters(result, TRUE, threshold=0.95) == set()
+
+    def test_split_counts_once(self):
+        result = _result_with_reps(
+            [np.full((10, 2), 0.3), np.full((10, 2), 0.7)]
+        )
+        assert count_found_clusters(result, TRUE) == 1
+
+    def test_empty_reps_skipped(self):
+        result = _result_with_reps([np.empty((0, 2)), np.full((5, 2), 2.5)])
+        assert found_clusters(result, TRUE) == {1}
+
+    def test_requires_true_clusters(self):
+        result = _result_with_reps([np.full((5, 2), 0.5)])
+        with pytest.raises(ParameterError):
+            found_clusters(result, [])
+
+    def test_birch_criterion(self):
+        result = _result_with_reps(
+            [np.full((1, 2), 0.5)], centers=[[0.5, 0.5], [5.0, 5.0]]
+        )
+        assert birch_found_clusters(result, TRUE) == {0}
+
+
+class TestOutlierPrecisionRecall:
+    def test_perfect(self):
+        assert outlier_precision_recall([1, 2], [1, 2]) == (1.0, 1.0)
+
+    def test_partial(self):
+        precision, recall = outlier_precision_recall([1, 2, 3, 4], [1, 2])
+        assert precision == 0.5 and recall == 1.0
+
+    def test_empty_prediction(self):
+        precision, recall = outlier_precision_recall([], [1])
+        assert precision == 1.0 and recall == 0.0
+
+    def test_both_empty(self):
+        assert outlier_precision_recall([], []) == (1.0, 1.0)
+
+
+class TestDensityOrderPreservation:
+    def test_preserved_under_uniform_sampling(self):
+        data = make_clustered_dataset(
+            n_points=30_000, n_clusters=5, density_ratio=10.0, random_state=0
+        )
+        sample = UniformSampler(2000, random_state=0).sample(data.points)
+        pairs = [
+            (data.clusters[i], data.clusters[j])
+            for i in range(5)
+            for j in range(i + 1, 5)
+        ]
+        assert (
+            density_order_preservation(data.points, sample.points, pairs)
+            >= 0.8
+        )
+
+    def test_requires_pairs(self):
+        with pytest.raises(ParameterError):
+            density_order_preservation(
+                np.zeros((2, 2)), np.zeros((2, 2)), []
+            )
+
+
+class TestSampleComposition:
+    @pytest.fixture
+    def noisy_data(self):
+        return make_clustered_dataset(
+            n_points=20_000,
+            n_clusters=5,
+            noise_fraction=0.5,
+            random_state=0,
+        )
+
+    def test_noise_fraction_reduced_by_positive_a(self, noisy_data):
+        biased = DensityBiasedSampler(
+            sample_size=600, exponent=1.0, random_state=0
+        ).sample(noisy_data.points)
+        uniform = UniformSampler(600, random_state=0).sample(
+            noisy_data.points
+        )
+        assert noise_fraction_in_sample(
+            biased, noisy_data
+        ) < noise_fraction_in_sample(uniform, noisy_data)
+
+    def test_uniform_noise_fraction_matches_data(self, noisy_data):
+        uniform = UniformSampler(2000, random_state=0).sample(
+            noisy_data.points
+        )
+        data_noise = 0.5 / 1.5  # fn=0.5 on top of cluster points
+        assert noise_fraction_in_sample(uniform, noisy_data) == pytest.approx(
+            data_noise, abs=0.05
+        )
+
+    def test_sample_share_per_cluster(self, noisy_data):
+        uniform = UniformSampler(2000, random_state=0).sample(
+            noisy_data.points
+        )
+        shares = sample_share_per_cluster(uniform, noisy_data)
+        expected = 2000 / noisy_data.n_points
+        np.testing.assert_allclose(shares, expected, atol=0.05)
+
+    def test_empty_sample(self, noisy_data):
+        from repro.core.biased import BiasedSample
+
+        empty = BiasedSample(
+            points=np.empty((0, 2)),
+            indices=np.empty(0, dtype=np.int64),
+            probabilities=np.empty(0),
+            exponent=1.0,
+            expected_size=0.0,
+            n_source=noisy_data.n_points,
+        )
+        assert noise_fraction_in_sample(empty, noisy_data) == 0.0

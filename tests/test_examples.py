@@ -1,0 +1,61 @@
+"""Sanity checks on the example scripts.
+
+Each example is a long-running demo, so the suite does not execute
+their ``main()``s; it verifies that every script parses, imports only
+available modules, and exposes the expected entry point.
+"""
+
+import ast
+import importlib.util
+import os
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_exist():
+    names = {path.stem for path in EXAMPLE_FILES}
+    assert "quickstart" in names
+    assert len(names) >= 3  # the deliverable minimum, comfortably beaten
+
+
+@pytest.mark.parametrize(
+    "path", EXAMPLE_FILES, ids=lambda p: p.stem
+)
+class TestEveryExample:
+    def test_parses(self, path):
+        ast.parse(path.read_text())
+
+    def test_has_docstring_and_run_hint(self, path):
+        tree = ast.parse(path.read_text())
+        doc = ast.get_docstring(tree)
+        assert doc, f"{path.name} needs a module docstring"
+        assert "Run:" in doc, f"{path.name} docstring should say how to run"
+
+    def test_defines_main_guard(self, path):
+        source = path.read_text()
+        assert 'if __name__ == "__main__":' in source
+        assert "def main(" in source
+
+    def test_importable(self, path):
+        """Module-level code (imports, constants) must execute cleanly."""
+        spec = importlib.util.spec_from_file_location(
+            f"example_{path.stem}", path
+        )
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        assert callable(module.main)
+
+    def test_imports_only_public_api(self, path):
+        """Examples should demonstrate the public API: no private
+        (`_underscore`) repro modules."""
+        tree = ast.parse(path.read_text())
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.module:
+                if node.module.startswith("repro"):
+                    assert "._" not in node.module, (
+                        f"{path.name} imports private module {node.module}"
+                    )

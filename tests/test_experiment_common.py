@@ -1,0 +1,66 @@
+"""Tests for the shared experiment helpers."""
+
+import pytest
+
+from repro.datasets import make_clustered_dataset
+from repro.experiments._common import (
+    EXTRA_CLUSTERS,
+    biased_sample,
+    cure_found,
+    run_biased,
+    run_birch,
+    run_grid,
+    run_uniform,
+    scaled,
+)
+
+
+class TestScaled:
+    def test_scales(self):
+        assert scaled(1000, 0.5) == 500
+
+    def test_minimum_enforced(self):
+        assert scaled(1000, 0.001, minimum=50) == 50
+
+    def test_rounds(self):
+        assert scaled(1001, 0.1) == 100
+
+
+class TestPipelineHelpers:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return make_clustered_dataset(
+            n_points=8000,
+            n_clusters=4,
+            noise_fraction=0.1,
+            random_state=0,
+        )
+
+    def test_biased_sample_size(self, dataset):
+        sample = biased_sample(dataset, 300, exponent=1.0, seed=0)
+        assert abs(len(sample) - 300) < 80
+
+    def test_cure_found_range(self, dataset):
+        sample = biased_sample(dataset, 400, exponent=1.0, seed=0)
+        found = cure_found(dataset, sample.points, n_clusters=4)
+        assert 0 <= found <= 4
+
+    def test_tiny_sample_scores_zero(self, dataset):
+        sample = biased_sample(dataset, 3, exponent=1.0, seed=0)
+        assert cure_found(dataset, sample.points, n_clusters=4) == 0
+
+    def test_runners_return_averaged_scores(self, dataset):
+        b = run_biased(dataset, 300, exponent=1.0, n_clusters=4, seed=0,
+                       n_seeds=2)
+        u = run_uniform(dataset, 300, n_clusters=4, seed=0, n_seeds=2)
+        g = run_grid(dataset, 300, exponent=-0.5, n_clusters=4, seed=0,
+                     n_seeds=2)
+        for value in (b, u, g):
+            assert 0.0 <= value <= 4.0
+
+    def test_birch_runner(self, dataset):
+        found = run_birch(dataset, budget=200, n_clusters=4)
+        assert 0 <= found <= 4
+
+    def test_extra_clusters_constant_sane(self):
+        assert 1 <= EXTRA_CLUSTERS <= 10

@@ -1,0 +1,155 @@
+"""Tests for the experiment harness (registry, reporting, tiny runs)."""
+
+import io
+
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.experiments import (
+    EXPERIMENTS,
+    ExperimentResult,
+    Table,
+    get_experiment,
+    run_experiment,
+)
+
+EXPECTED_IDS = {
+    "theorem1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "outliers",
+    "scaling",
+    "geo",
+    "samplesize",
+    "lemma1",
+    "ablation-estimator",
+    "ablation-onepass",
+    "ablation-kernels",
+    "ext-rules",
+    "ext-tree",
+}
+
+
+class TestRegistry:
+    def test_every_paper_artifact_registered(self):
+        assert set(EXPERIMENTS) == EXPECTED_IDS
+
+    def test_specs_have_descriptions(self):
+        for spec in EXPERIMENTS.values():
+            assert spec.description
+            assert spec.paper_artifact
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(ParameterError, match="unknown experiment"):
+            get_experiment("fig99")
+
+
+class TestReporting:
+    def test_table_rendering_aligns(self):
+        table = Table(title="t", headers=["a", "long_header"])
+        table.add_row(1, 2.5)
+        table.add_row(100, 0.333333)
+        text = table.render()
+        lines = text.splitlines()
+        assert lines[0] == "## t"
+        assert len({len(line) for line in lines[1:]}) <= 2
+
+    def test_row_length_checked(self):
+        table = Table(title="t", headers=["a", "b"])
+        with pytest.raises(ValueError, match="columns"):
+            table.add_row(1)
+
+    def test_column_extraction(self):
+        table = Table(title="t", headers=["x", "y"])
+        table.add_row(1, 10)
+        table.add_row(2, 20)
+        assert table.column("y") == [10, 20]
+
+    def test_result_table_lookup(self):
+        result = ExperimentResult(name="e", description="d")
+        table = result.new_table("series", ["x"])
+        assert result.table("series") is table
+        with pytest.raises(KeyError):
+            result.table("missing")
+
+    def test_bool_formatting(self):
+        table = Table(title="t", headers=["flag"])
+        table.add_row(True)
+        assert "yes" in table.render()
+
+
+class TestTinyRuns:
+    """Run the cheap experiments end-to-end at minimal scale."""
+
+    def test_theorem1(self):
+        result = run_experiment("theorem1", scale=0.05, verbose=False)
+        crossover = result.table("biased sample size under rule R")
+        assert crossover.column("beats_uniform") == crossover.column(
+            "theorem1_predicts"
+        )
+
+    def test_lemma1(self):
+        result = run_experiment("lemma1", scale=0.1, verbose=False)
+        table = result.table("density-order preservation vs exponent")
+        preserved = dict(
+            zip(table.column("exponent"), table.column("preserved_pair_fraction"))
+        )
+        # Lemma 1 regime must preserve order far better than a = -2.
+        assert preserved[0.5] >= 0.85
+        assert preserved[-0.5] >= 0.7
+        assert preserved[-2.0] <= preserved[-0.25]
+
+    def test_ablation_onepass(self):
+        result = run_experiment("ablation-onepass", scale=0.1, verbose=False)
+        table = result.table("two-pass vs one-pass (a=-0.5)")
+        errors = table.column("size_error_pct")
+        assert errors[0] < 15  # exact normaliser: tight
+        assert errors[1] < 60  # estimated normaliser: looser but sane
+
+    def test_ext_rules(self):
+        result = run_experiment("ext-rules", scale=0.1, verbose=False)
+        table = result.table("sample size sweep (min_support=6%)")
+        assert all(r >= 0.5 for r in table.column("recall"))
+        assert all(p == 1 for p in table.column("full_passes"))
+
+    def test_ext_tree(self):
+        result = run_experiment("ext-tree", scale=0.15, verbose=False)
+        table = result.table("test accuracy vs training-sample size")
+        full = table.column("full_data")[0]
+        assert 0.5 <= full <= 1.0
+        assert all(a <= full + 0.05
+                   for a in table.column("biased_a0.5_weighted"))
+
+    def test_ablation_estimator(self):
+        result = run_experiment(
+            "ablation-estimator", scale=0.1, verbose=False
+        )
+        table = result.table("estimator back-ends (a=-0.5, 1% sample)")
+        assert len(table.rows) == 3
+        assert all(size > 0 for size in table.column("sample_size"))
+
+    def test_fig3(self):
+        result = run_experiment("fig3", scale=0.1, verbose=False)
+        head = result.table("found clusters at equal sample size")
+        scores = dict(zip(head.column("method"), head.column("found_of_5")))
+        assert scores["biased a=0.5"] >= 3
+
+    def test_verbose_prints(self):
+        buffer = io.StringIO()
+        run_experiment("theorem1", scale=0.05, verbose=True, out=buffer)
+        assert "motivating example" in buffer.getvalue()
+
+    def test_plot_rendering(self):
+        buffer = io.StringIO()
+        run_experiment(
+            "theorem1", scale=0.05, verbose=True, plot=True, out=buffer
+        )
+        assert "[plot]" in buffer.getvalue()
+
+    def test_notes_record_settings(self):
+        result = run_experiment("theorem1", scale=0.05, verbose=False)
+        assert any("scale=0.05" in note for note in result.notes)

@@ -1,0 +1,126 @@
+"""Tests for file-backed data streams."""
+
+import os
+import tempfile
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataValidationError
+from repro.utils import CsvFileStream, NpyFileStream
+
+
+@pytest.fixture
+def array():
+    return np.random.default_rng(0).normal(size=(257, 3))
+
+
+@pytest.fixture
+def npy_path(array, tmp_path):
+    path = os.path.join(tmp_path, "data.npy")
+    np.save(path, array)
+    return path
+
+
+@pytest.fixture
+def csv_path(array, tmp_path):
+    path = os.path.join(tmp_path, "data.csv")
+    np.savetxt(path, array, delimiter=",")
+    return path
+
+
+class TestNpyFileStream:
+    def test_metadata(self, npy_path, array):
+        stream = NpyFileStream(npy_path, chunk_size=100)
+        assert len(stream) == 257
+        assert stream.n_dims == 3
+
+    def test_chunks_reconstruct(self, npy_path, array):
+        stream = NpyFileStream(npy_path, chunk_size=100)
+        rebuilt = np.vstack(list(stream))
+        np.testing.assert_allclose(rebuilt, array)
+        assert stream.passes == 1
+
+    def test_offsets(self, npy_path):
+        stream = NpyFileStream(npy_path, chunk_size=100)
+        offsets = [off for off, _ in stream.iter_with_offsets()]
+        assert offsets == [0, 100, 200]
+
+    def test_materialize(self, npy_path, array):
+        stream = NpyFileStream(npy_path)
+        np.testing.assert_allclose(stream.materialize(), array)
+
+    def test_missing_file(self):
+        with pytest.raises(DataValidationError):
+            NpyFileStream("/nonexistent.npy")
+
+    def test_rejects_1d(self, tmp_path):
+        path = os.path.join(tmp_path, "flat.npy")
+        np.save(path, np.arange(5))
+        with pytest.raises(DataValidationError, match="2-D"):
+            NpyFileStream(path)
+
+    def test_feeds_estimator(self, npy_path):
+        from repro.density import KernelDensityEstimator
+
+        stream = NpyFileStream(npy_path, chunk_size=64)
+        kde = KernelDensityEstimator(n_kernels=32, random_state=0)
+        kde.fit(stream=stream)
+        assert stream.passes == 1
+        assert kde.n_points_ == 257
+
+
+class TestCsvFileStream:
+    def test_metadata(self, csv_path):
+        stream = CsvFileStream(csv_path, chunk_size=100)
+        assert len(stream) == 257
+        assert stream.n_dims == 3
+
+    def test_chunks_reconstruct(self, csv_path, array):
+        stream = CsvFileStream(csv_path, chunk_size=100)
+        rebuilt = np.vstack(list(stream))
+        np.testing.assert_allclose(rebuilt, array, rtol=1e-6)
+
+    def test_offsets(self, csv_path):
+        stream = CsvFileStream(csv_path, chunk_size=128)
+        offsets = [off for off, _ in stream.iter_with_offsets()]
+        assert offsets == [0, 128, 256]
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = os.path.join(tmp_path, "gappy.csv")
+        with open(path, "w") as handle:
+            handle.write("1.0,2.0\n\n3.0,4.0\n")
+        stream = CsvFileStream(path)
+        assert len(stream) == 2
+
+    def test_ragged_rejected(self, tmp_path):
+        path = os.path.join(tmp_path, "ragged.csv")
+        with open(path, "w") as handle:
+            handle.write("1.0,2.0\n3.0\n")
+        with pytest.raises(DataValidationError, match="ragged"):
+            CsvFileStream(path)
+
+    def test_non_numeric_rejected(self, tmp_path):
+        path = os.path.join(tmp_path, "text.csv")
+        with open(path, "w") as handle:
+            handle.write("1.0,abc\n")
+        stream = CsvFileStream(path)
+        with pytest.raises(DataValidationError, match="non-numeric"):
+            list(stream)
+
+    def test_empty_rejected(self, tmp_path):
+        path = os.path.join(tmp_path, "empty.csv")
+        open(path, "w").close()
+        with pytest.raises(DataValidationError, match="no data"):
+            CsvFileStream(path)
+
+    def test_end_to_end_sampling(self, csv_path):
+        """The biased sampler runs out-of-core over a CSV file."""
+        from repro.core import DensityBiasedSampler
+
+        stream = CsvFileStream(csv_path, chunk_size=64)
+        sample = DensityBiasedSampler(
+            sample_size=50, exponent=1.0, random_state=0
+        ).sample(None, stream=stream)
+        assert 10 <= len(sample) <= 120
+        assert stream.passes == 3

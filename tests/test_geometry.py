@@ -1,0 +1,64 @@
+"""Tests for repro.utils.geometry."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.utils.geometry import (
+    ball_volume,
+    pairwise_sq_distances,
+    sq_distances_to,
+)
+
+
+class TestBallVolume:
+    def test_known_values(self):
+        assert ball_volume(1.0, 1) == pytest.approx(2.0)
+        assert ball_volume(1.0, 2) == pytest.approx(math.pi)
+        assert ball_volume(1.0, 3) == pytest.approx(4.0 / 3.0 * math.pi)
+
+    def test_radius_scaling(self):
+        assert ball_volume(2.0, 3) == pytest.approx(8 * ball_volume(1.0, 3))
+
+    def test_zero_radius(self):
+        assert ball_volume(0.0, 4) == 0.0
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            ball_volume(1.0, 0)
+        with pytest.raises(ValueError):
+            ball_volume(-1.0, 2)
+
+
+class TestPairwiseDistances:
+    def test_matches_naive(self):
+        rng = np.random.default_rng(0)
+        pts = rng.normal(size=(20, 3))
+        fast = pairwise_sq_distances(pts)
+        naive = ((pts[:, None, :] - pts[None, :, :]) ** 2).sum(axis=2)
+        np.testing.assert_allclose(fast, naive, atol=1e-10)
+
+    def test_diagonal_near_zero(self):
+        pts = np.random.default_rng(1).normal(size=(10, 2))
+        diag = np.diag(pairwise_sq_distances(pts))
+        assert (diag >= 0).all()
+        assert (diag < 1e-10).all()
+
+    def test_never_negative(self):
+        pts = np.full((5, 2), 3.14159)
+        assert (pairwise_sq_distances(pts) >= 0).all()
+
+
+class TestSqDistancesTo:
+    def test_matches_naive(self):
+        rng = np.random.default_rng(2)
+        a = rng.normal(size=(7, 4))
+        b = rng.normal(size=(5, 4))
+        fast = sq_distances_to(a, b)
+        naive = ((a[:, None, :] - b[None, :, :]) ** 2).sum(axis=2)
+        np.testing.assert_allclose(fast, naive, atol=1e-10)
+
+    def test_shape(self):
+        a, b = np.zeros((3, 2)), np.zeros((4, 2))
+        assert sq_distances_to(a, b).shape == (3, 4)

@@ -1,0 +1,80 @@
+"""Tests for the practitioner's-guide recommendations."""
+
+import numpy as np
+import pytest
+
+from repro.core import DensityBiasedSampler, recommend_settings
+from repro.exceptions import ParameterError
+
+
+class TestRecommendations:
+    def test_dense_clusters_rule(self):
+        rec = recommend_settings("dense-clusters", noise_level=0.6)
+        assert rec.exponent == 1.0
+        assert rec.n_kernels == 1000
+        assert rec.sample_fraction == pytest.approx(0.01)
+
+    def test_small_clusters_noise_interpolation(self):
+        clean = recommend_settings("small-clusters", noise_level=0.0)
+        mild = recommend_settings("small-clusters", noise_level=0.2)
+        heavy = recommend_settings("small-clusters", noise_level=0.6)
+        assert clean.exponent == -0.5
+        assert mild.exponent == -0.25
+        # More noise pushes the exponent toward (but not past) zero.
+        assert clean.exponent < mild.exponent <= heavy.exponent < 0.0
+
+    def test_outliers_lower_floor(self):
+        rec = recommend_settings("outliers")
+        assert rec.exponent < -1.0
+        assert rec.density_floor_fraction < 0.01
+
+    def test_coverage_is_minus_one(self):
+        assert recommend_settings("coverage").exponent == -1.0
+
+    def test_rationales_cite_the_paper(self):
+        for task in ("dense-clusters", "small-clusters", "outliers",
+                     "coverage"):
+            assert "section" in recommend_settings(task).rationale
+
+    def test_rejects_unknown_task(self):
+        with pytest.raises(ParameterError, match="task"):
+            recommend_settings("regression")
+
+    def test_rejects_bad_noise(self):
+        with pytest.raises(ParameterError, match="noise_level"):
+            recommend_settings("dense-clusters", noise_level=1.5)
+
+
+class TestMakeSampler:
+    def test_builds_configured_sampler(self):
+        rec = recommend_settings("dense-clusters")
+        sampler = rec.make_sampler(n_points=50_000, random_state=0)
+        assert isinstance(sampler, DensityBiasedSampler)
+        assert sampler.sample_size == 500  # 1% of 50k
+        assert sampler.exponent == 1.0
+
+    def test_sampler_actually_works(self):
+        rng = np.random.default_rng(0)
+        data = np.vstack(
+            [
+                rng.normal(0.0, 0.05, size=(3000, 2)),
+                rng.uniform(-1, 1, size=(3000, 2)),
+            ]
+        )
+        rec = recommend_settings("dense-clusters", noise_level=0.5)
+        sample = rec.make_sampler(len(data), random_state=0).sample(data)
+        assert (sample.indices < 3000).mean() > 0.7
+
+    def test_minimum_one_sample(self):
+        rec = recommend_settings("coverage")
+        assert rec.make_sampler(n_points=10).sample_size == 1
+
+
+class TestCliGuide:
+    def test_guide_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["guide", "small-clusters", "--noise", "0.2"]) == 0
+        out = capsys.readouterr().out
+        assert "exponent a" in out
+        assert "-0.25" in out

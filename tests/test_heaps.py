@@ -1,0 +1,98 @@
+"""Tests for the indexed min-heap, including a randomized oracle check."""
+
+import numpy as np
+import pytest
+
+from repro.utils.heaps import IndexedMinHeap
+
+
+class TestBasics:
+    def test_push_pop_ordering(self):
+        heap = IndexedMinHeap()
+        for item, key in (("a", 3.0), ("b", 1.0), ("c", 2.0)):
+            heap.push(item, key)
+        assert heap.pop() == ("b", 1.0)
+        assert heap.pop() == ("c", 2.0)
+        assert heap.pop() == ("a", 3.0)
+
+    def test_peek_does_not_remove(self):
+        heap = IndexedMinHeap()
+        heap.push("x", 5.0)
+        assert heap.peek() == ("x", 5.0)
+        assert len(heap) == 1
+
+    def test_contains_and_len(self):
+        heap = IndexedMinHeap()
+        heap.push(1, 0.5)
+        assert 1 in heap
+        assert 2 not in heap
+        assert len(heap) == 1
+
+    def test_push_existing_updates(self):
+        heap = IndexedMinHeap()
+        heap.push("a", 5.0)
+        heap.push("b", 3.0)
+        heap.push("a", 1.0)  # decrease key
+        assert heap.pop() == ("a", 1.0)
+
+    def test_update_increase_key(self):
+        heap = IndexedMinHeap()
+        heap.push("a", 1.0)
+        heap.push("b", 2.0)
+        heap.update("a", 10.0)
+        assert heap.pop() == ("b", 2.0)
+
+    def test_remove_arbitrary(self):
+        heap = IndexedMinHeap()
+        for i in range(10):
+            heap.push(i, float(i))
+        heap.remove(0)
+        heap.remove(5)
+        assert heap.pop() == (1, 1.0)
+        assert len(heap) == 7
+
+    def test_key_of(self):
+        heap = IndexedMinHeap()
+        heap.push("a", 2.5)
+        assert heap.key_of("a") == 2.5
+
+    def test_empty_pop_raises(self):
+        with pytest.raises(IndexError):
+            IndexedMinHeap().pop()
+
+    def test_empty_peek_raises(self):
+        with pytest.raises(IndexError):
+            IndexedMinHeap().peek()
+
+
+class TestRandomizedOracle:
+    def test_against_sorted_reference(self):
+        """Random mixed workload must always pop the true minimum."""
+        rng = np.random.default_rng(7)
+        heap = IndexedMinHeap()
+        reference: dict[int, float] = {}
+        next_item = 0
+        for _ in range(2000):
+            op = rng.random()
+            if op < 0.5 or not reference:
+                key = float(rng.random())
+                heap.push(next_item, key)
+                reference[next_item] = key
+                next_item += 1
+            elif op < 0.7:
+                item = int(rng.choice(list(reference)))
+                key = float(rng.random())
+                heap.update(item, key)
+                reference[item] = key
+            elif op < 0.85:
+                item = int(rng.choice(list(reference)))
+                heap.remove(item)
+                del reference[item]
+            else:
+                item, key = heap.pop()
+                assert key == min(reference.values())
+                assert reference[item] == key
+                del reference[item]
+        # Drain and confirm global ordering.
+        drained = [heap.pop()[1] for _ in range(len(heap))]
+        assert drained == sorted(drained)

@@ -1,0 +1,97 @@
+"""Tests for generic agglomerative clustering (Lance-Williams)."""
+
+import numpy as np
+import pytest
+
+from repro.clustering import AgglomerativeClustering
+from repro.exceptions import ParameterError
+
+LINKAGES = ("single", "complete", "average", "centroid")
+
+
+@pytest.fixture
+def blobs():
+    rng = np.random.default_rng(1)
+    return np.vstack(
+        [rng.normal(c, 0.05, size=(30, 2)) for c in ((0, 0), (2, 0), (0, 2))]
+    )
+
+
+@pytest.mark.parametrize("linkage", LINKAGES)
+class TestAllLinkages:
+    def test_recovers_well_separated_blobs(self, blobs, linkage):
+        result = AgglomerativeClustering(n_clusters=3, linkage=linkage).fit(
+            blobs
+        )
+        assert sorted(result.sizes.tolist()) == [30, 30, 30]
+
+    def test_labels_consistent_with_members(self, blobs, linkage):
+        result = AgglomerativeClustering(n_clusters=3, linkage=linkage).fit(
+            blobs
+        )
+        for cluster in range(3):
+            members = result.cluster_members(cluster)
+            assert (result.labels[members] == cluster).all()
+
+    def test_n_clusters_respected(self, blobs, linkage):
+        for k in (1, 2, 5):
+            result = AgglomerativeClustering(n_clusters=k, linkage=linkage).fit(
+                blobs
+            )
+            assert result.n_clusters == k
+
+
+class TestSpecificBehaviours:
+    def test_single_linkage_chains(self):
+        """Single linkage follows a chain of stepping stones; complete
+        linkage refuses the long thin cluster."""
+        chain = np.column_stack([np.arange(10) * 1.0, np.zeros(10)])
+        far = np.array([[100.0, 0.0], [101.0, 0.0]])
+        pts = np.vstack([chain, far])
+        single = AgglomerativeClustering(n_clusters=2, linkage="single").fit(
+            pts
+        )
+        assert sorted(single.sizes.tolist()) == [2, 10]
+
+    def test_centroid_weighted_merge(self):
+        """Weights act as point masses for centroid linkage."""
+        pts = np.array([[0.0, 0.0], [1.0, 0.0], [10.0, 0.0]])
+        result = AgglomerativeClustering(
+            n_clusters=1, linkage="centroid"
+        ).fit(pts, sample_weight=np.array([3.0, 1.0, 1.0]))
+        assert result.centers[0, 0] == pytest.approx((0 * 3 + 1 + 10) / 5)
+
+    def test_distance_threshold_stops_early(self, blobs):
+        result = AgglomerativeClustering(
+            n_clusters=1, linkage="single", distance_threshold=0.5
+        ).fit(blobs)
+        # Blobs are ~2 apart: merging must stop at the three blobs.
+        assert result.n_clusters == 3
+
+    def test_more_clusters_than_points(self):
+        pts = np.zeros((3, 2))
+        result = AgglomerativeClustering(n_clusters=10).fit(pts)
+        assert result.n_clusters == 3
+
+    def test_rejects_unknown_linkage(self):
+        with pytest.raises(ParameterError, match="linkage"):
+            AgglomerativeClustering(linkage="ward-ish")
+
+    def test_rejects_bad_weights(self):
+        with pytest.raises(ParameterError, match="sample_weight"):
+            AgglomerativeClustering(n_clusters=1).fit(
+                np.zeros((4, 2)), sample_weight=np.ones(2)
+            )
+
+    def test_average_between_single_and_complete(self):
+        """On any data: single merge distance <= average <= complete, so
+        with a shared threshold, cluster counts are ordered."""
+        rng = np.random.default_rng(5)
+        pts = rng.random((60, 2))
+        counts = {}
+        for linkage in ("single", "average", "complete"):
+            result = AgglomerativeClustering(
+                n_clusters=1, linkage=linkage, distance_threshold=0.15
+            ).fit(pts)
+            counts[linkage] = result.n_clusters
+        assert counts["single"] <= counts["average"] <= counts["complete"]

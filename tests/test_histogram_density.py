@@ -1,0 +1,85 @@
+"""Tests for the grid-histogram density estimator."""
+
+import numpy as np
+import pytest
+
+from repro.density import GridDensityEstimator
+from repro.exceptions import NotFittedError, ParameterError
+from repro.utils.streams import DataStream
+
+
+class TestFitting:
+    def test_two_passes_without_bounds(self):
+        stream = DataStream(np.random.default_rng(0).random((100, 2)))
+        GridDensityEstimator(bins_per_dim=4).fit(stream=stream)
+        assert stream.passes == 2  # bounding box + counting
+
+    def test_one_pass_with_bounds(self):
+        stream = DataStream(np.random.default_rng(0).random((100, 2)))
+        GridDensityEstimator(
+            bins_per_dim=4, bounds=([0.0, 0.0], [1.0, 1.0])
+        ).fit(stream=stream)
+        assert stream.passes == 1
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            GridDensityEstimator().evaluate([[0.0, 0.0]])
+
+    def test_rejects_bad_bins(self):
+        with pytest.raises(ParameterError):
+            GridDensityEstimator(bins_per_dim=0)
+
+    def test_occupied_cells_tracked(self):
+        data = np.array([[0.1, 0.1], [0.9, 0.9], [0.12, 0.11]])
+        est = GridDensityEstimator(bins_per_dim=2).fit(data)
+        assert est.n_occupied_cells_ == 2
+
+
+class TestEvaluation:
+    def test_density_proportional_to_counts(self):
+        # 30 points in the left half-cell, 10 in the right.
+        rng = np.random.default_rng(1)
+        left = rng.uniform((0.0, 0.0), (0.5, 1.0), size=(30, 2))
+        right = rng.uniform((0.5, 0.0), (1.0, 1.0), size=(10, 2))
+        est = GridDensityEstimator(
+            bins_per_dim=2, bounds=([0.0, 0.0], [1.0, 1.0])
+        ).fit(np.vstack([left, right]))
+        f_left = est.evaluate([[0.25, 0.25]])[0] + est.evaluate([[0.25, 0.75]])[0]
+        f_right = (
+            est.evaluate([[0.75, 0.25]])[0] + est.evaluate([[0.75, 0.75]])[0]
+        )
+        assert f_left == pytest.approx(3.0 * f_right)
+
+    def test_integrates_to_n(self):
+        rng = np.random.default_rng(2)
+        data = rng.random((1000, 2))
+        est = GridDensityEstimator(
+            bins_per_dim=8, bounds=([0.0, 0.0], [1.0, 1.0])
+        ).fit(data)
+        # Sum over cell centers times cell volume recovers n exactly.
+        grid = np.linspace(1 / 16, 1 - 1 / 16, 8)
+        xs, ys = np.meshgrid(grid, grid)
+        centers = np.column_stack([xs.ravel(), ys.ravel()])
+        total = est.evaluate(centers).sum() * est.cell_volume_
+        assert total == pytest.approx(1000)
+
+    def test_empty_cells_zero(self):
+        data = np.full((10, 2), 0.1)
+        est = GridDensityEstimator(
+            bins_per_dim=4, bounds=([0.0, 0.0], [1.0, 1.0])
+        ).fit(data)
+        assert est.evaluate([[0.9, 0.9]])[0] == 0.0
+
+    def test_unscaled_domain(self):
+        """Works on raw coordinates far outside the unit cube."""
+        rng = np.random.default_rng(3)
+        data = rng.uniform(100.0, 200.0, size=(500, 2))
+        est = GridDensityEstimator(bins_per_dim=4).fit(data)
+        f = est.evaluate([[150.0, 150.0]])[0]
+        # Uniform over a 100x100 box: density ~ 500 / 10000.
+        assert f == pytest.approx(0.05, rel=0.6)
+
+    def test_out_of_box_queries_clamp(self):
+        data = np.random.default_rng(4).random((100, 2))
+        est = GridDensityEstimator(bins_per_dim=4).fit(data)
+        assert est.evaluate([[5.0, 5.0]]).shape == (1,)

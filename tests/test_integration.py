@@ -1,0 +1,164 @@
+"""End-to-end integration tests across packages.
+
+Each test runs the paper's full pipeline on a small-but-realistic
+workload and asserts the *qualitative* claim the paper makes — the same
+claims the benchmarks measure at larger scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro.clustering import Birch, CureClustering, assign_to_clusters
+from repro.core import DensityBiasedSampler, UniformSampler
+from repro.datasets import (
+    cure_dataset1,
+    make_clustered_dataset,
+    make_outlier_dataset,
+    northeast_dataset,
+)
+from repro.evaluation import (
+    birch_found_clusters,
+    count_found_clusters,
+    noise_fraction_in_sample,
+    outlier_precision_recall,
+)
+from repro.outliers import ApproximateOutlierDetector, IndexedOutlierDetector
+from repro.utils.streams import DataStream
+
+
+class TestClusteringPipeline:
+    def test_biased_beats_uniform_under_heavy_noise(self):
+        """The Figure 4 headline at small scale."""
+        data = make_clustered_dataset(
+            n_points=20_000,
+            n_clusters=8,
+            noise_fraction=0.8,
+            density_ratio=3.0,
+            random_state=5,
+        )
+        budget = 500
+        biased = DensityBiasedSampler(
+            sample_size=budget, exponent=1.0, random_state=0
+        ).sample(data.points)
+        uniform = UniformSampler(budget, random_state=0).sample(data.points)
+        found_biased = count_found_clusters(
+            CureClustering(n_clusters=8).fit(biased.points), data.clusters
+        )
+        found_uniform = count_found_clusters(
+            CureClustering(n_clusters=8).fit(uniform.points), data.clusters
+        )
+        assert found_biased > found_uniform
+
+    def test_negative_exponent_finds_sparse_clusters(self):
+        """The Figure 5 headline: with small sparse clusters dominated
+        by large dense ones, a = -0.25 recovers what uniform loses."""
+        from repro.datasets import make_fig5_dataset
+        from repro.experiments._common import run_biased, run_uniform
+
+        data = make_fig5_dataset(
+            n_dims=2, noise_fraction=0.1, n_points=30_000, random_state=2
+        )
+        budget = 600  # small enough that uniform misses small clusters
+        biased = run_biased(
+            data, budget, exponent=-0.25, n_clusters=10, seed=0, n_seeds=3
+        )
+        uniform = run_uniform(data, budget, n_clusters=10, seed=0, n_seeds=3)
+        assert biased > uniform
+
+    def test_cure_dataset_full_pipeline(self):
+        """Figure 3 end to end, including full-dataset label assignment."""
+        data = cure_dataset1(n_points=20_000, random_state=0)
+        sample = DensityBiasedSampler(
+            sample_size=600, exponent=0.5, random_state=0
+        ).sample(data.points)
+        clustering = CureClustering(n_clusters=5).fit(sample.points)
+        assert count_found_clusters(clustering, data.clusters) >= 4
+        labels = assign_to_clusters(data.points, clustering)
+        assert labels.shape == (data.n_points,)
+        # The big circle (true label 0) must map dominantly to one
+        # found cluster.
+        big = labels[data.labels == 0]
+        assert (big == np.bincount(big).argmax()).mean() > 0.8
+
+    def test_birch_full_dataset_comparison(self):
+        data = make_clustered_dataset(
+            n_points=15_000, n_clusters=5, noise_fraction=0.1, random_state=1
+        )
+        result = Birch(n_clusters=5, max_leaf_entries=300).fit(data.points)
+        assert len(birch_found_clusters(result, data.clusters)) >= 3
+
+    def test_noise_suppression_mechanism(self):
+        """Why Figure 4 works: a=1 strips noise from the sample."""
+        data = make_clustered_dataset(
+            n_points=10_000, n_clusters=5, noise_fraction=0.6, random_state=3
+        )
+        biased = DensityBiasedSampler(
+            sample_size=400, exponent=1.0, random_state=0
+        ).sample(data.points)
+        uniform = UniformSampler(400, random_state=0).sample(data.points)
+        assert (
+            noise_fraction_in_sample(biased, data)
+            < 0.5 * noise_fraction_in_sample(uniform, data)
+        )
+
+    def test_geospatial_metro_recovery(self):
+        data = northeast_dataset(n_points=30_000, random_state=0)
+        sample = DensityBiasedSampler(
+            sample_size=600, exponent=1.0, random_state=0
+        ).sample(data.points)
+        clustering = CureClustering(n_clusters=5).fit(sample.points)
+        assert count_found_clusters(clustering, data.clusters) >= 2
+
+
+class TestOutlierPipeline:
+    def test_full_detection_with_pass_budget(self):
+        data = make_outlier_dataset(
+            n_points=8000, n_outliers=15, random_state=4
+        )
+        stream = DataStream(data.points)
+        result = ApproximateOutlierDetector(
+            k=data.guaranteed_radius, p=0, random_state=0
+        ).detect(None, stream=stream)
+        precision, recall = outlier_precision_recall(
+            result.indices, data.outlier_indices
+        )
+        assert recall == 1.0
+        assert precision == pytest.approx(1.0, abs=0.3)
+        assert stream.passes <= 3
+
+    def test_agreement_with_exact_on_geospatial(self):
+        data = northeast_dataset(n_points=10_000, random_state=1)
+        k, p = 0.03, 1
+        exact = IndexedOutlierDetector(k=k, p=p).detect(data.points)
+        approx = ApproximateOutlierDetector(
+            k=k, p=p, random_state=0
+        ).detect(data.points)
+        precision, recall = outlier_precision_recall(
+            approx.indices, exact.indices
+        )
+        assert precision == 1.0  # verification is exact
+        assert recall > 0.8
+
+
+class TestSamplerContracts:
+    def test_all_samplers_share_result_type(self):
+        from repro.baselines import GridBiasedSampler
+        from repro.core import OnePassBiasedSampler
+
+        data = make_clustered_dataset(
+            n_points=5000, n_clusters=3, random_state=0
+        ).points
+        samplers = [
+            DensityBiasedSampler(sample_size=100, random_state=0),
+            OnePassBiasedSampler(sample_size=100, random_state=0),
+            UniformSampler(100, random_state=0),
+            GridBiasedSampler(sample_size=100, random_state=0),
+        ]
+        for sampler in samplers:
+            sample = sampler.sample(data)
+            assert sample.points.shape[0] == sample.indices.shape[0]
+            assert (sample.probabilities > 0).all()
+            assert sample.n_source == 5000
+            np.testing.assert_array_equal(
+                sample.points, data[sample.indices]
+            )

@@ -1,0 +1,125 @@
+"""Tests for kernel profiles and bandwidth rules."""
+
+import numpy as np
+import pytest
+from scipy.integrate import quad
+
+from repro.density.bandwidth import (
+    resolve_bandwidth,
+    scott_bandwidth,
+    silverman_bandwidth,
+)
+from repro.density.kernels import (
+    BiweightKernel,
+    EpanechnikovKernel,
+    GaussianKernel,
+    TriangularKernel,
+    UniformKernel,
+    get_kernel,
+)
+from repro.exceptions import ParameterError
+
+ALL_KERNELS = [
+    EpanechnikovKernel(),
+    GaussianKernel(),
+    UniformKernel(),
+    TriangularKernel(),
+    BiweightKernel(),
+]
+
+
+@pytest.mark.parametrize("kernel", ALL_KERNELS, ids=lambda k: k.name)
+class TestKernelProfiles:
+    def test_integrates_to_one(self, kernel):
+        value, _ = quad(lambda u: float(kernel(u)), -10, 10)
+        assert value == pytest.approx(1.0, abs=1e-6)
+
+    def test_symmetric(self, kernel):
+        u = np.linspace(0.0, 3.0, 50)
+        np.testing.assert_allclose(kernel(u), kernel(-u))
+
+    def test_non_negative(self, kernel):
+        u = np.linspace(-3, 3, 101)
+        assert (kernel(u) >= 0).all()
+
+    def test_zero_outside_support(self, kernel):
+        if not np.isfinite(kernel.support):
+            pytest.skip("unbounded support")
+        assert kernel(np.array([kernel.support + 0.01]))[0] == 0.0
+
+    def test_maximum_at_origin(self, kernel):
+        u = np.linspace(-1, 1, 101)
+        assert kernel(np.array([0.0]))[0] == pytest.approx(kernel(u).max())
+
+
+class TestGetKernel:
+    def test_by_name(self):
+        assert get_kernel("gaussian").name == "gaussian"
+
+    def test_instance_passthrough(self):
+        kernel = EpanechnikovKernel()
+        assert get_kernel(kernel) is kernel
+
+    def test_unknown_name(self):
+        with pytest.raises(ParameterError, match="unknown kernel"):
+            get_kernel("parabolic")
+
+
+class TestBandwidthRules:
+    def test_scott_shrinks_with_n(self):
+        std = np.array([1.0, 2.0])
+        small = scott_bandwidth(std, 100, 2)
+        large = scott_bandwidth(std, 100_000, 2)
+        assert (large < small).all()
+
+    def test_scott_proportional_to_std(self):
+        h = scott_bandwidth(np.array([1.0, 3.0]), 1000, 2)
+        assert h[1] == pytest.approx(3.0 * h[0])
+
+    def test_silverman_scott_ratio(self):
+        """Silverman = Scott * (4/(d+2))^(1/(d+4)): larger in 1-D,
+        smaller from d >= 3."""
+        std = np.array([1.0])
+        assert silverman_bandwidth(std, 500, 1) > scott_bandwidth(std, 500, 1)
+        std3 = np.ones(3)
+        assert (
+            silverman_bandwidth(std3, 500, 3) < scott_bandwidth(std3, 500, 3)
+        ).all()
+
+    def test_epanechnikov_wider_than_gaussian(self):
+        std = np.array([1.0])
+        gauss = scott_bandwidth(std, 500, 1, kernel="gaussian")
+        epan = scott_bandwidth(std, 500, 1, kernel="epanechnikov")
+        assert epan > gauss
+
+    def test_zero_std_floored(self):
+        h = scott_bandwidth(np.array([0.0]), 100, 1)
+        assert h[0] > 0
+
+    def test_rejects_negative_std(self):
+        with pytest.raises(ParameterError):
+            scott_bandwidth(np.array([-1.0]), 100, 1)
+
+
+class TestResolveBandwidth:
+    def test_rule_names(self):
+        std = np.array([1.0, 1.0])
+        for rule in ("scott", "silverman"):
+            h = resolve_bandwidth(rule, std, 100, 2, "gaussian")
+            assert h.shape == (2,)
+
+    def test_scalar_broadcast(self):
+        h = resolve_bandwidth(0.3, np.ones(3), 100, 3, "gaussian")
+        np.testing.assert_array_equal(h, [0.3, 0.3, 0.3])
+
+    def test_vector_checked(self):
+        with pytest.raises(ParameterError, match="shape"):
+            resolve_bandwidth([0.1, 0.2], np.ones(3), 100, 3, "gaussian")
+
+    def test_rejects_unknown_rule(self):
+        with pytest.raises(ParameterError, match="unknown bandwidth rule"):
+            resolve_bandwidth("magic", np.ones(1), 100, 1, "gaussian")
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ParameterError, match="positive"):
+            resolve_bandwidth(0.0, np.ones(1), 100, 1, "gaussian")

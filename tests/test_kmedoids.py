@@ -1,0 +1,71 @@
+"""Tests for K-medoids (PAM)."""
+
+import numpy as np
+import pytest
+
+from repro.clustering import KMedoids
+from repro.exceptions import ParameterError
+
+
+@pytest.fixture
+def blobs():
+    rng = np.random.default_rng(3)
+    return np.vstack(
+        [rng.normal(c, 0.1, size=(40, 2)) for c in ((0, 0), (3, 3), (0, 3))]
+    )
+
+
+class TestKMedoids:
+    def test_recovers_blobs(self, blobs):
+        result = KMedoids(n_clusters=3).fit(blobs)
+        assert sorted(result.sizes.tolist()) == [40, 40, 40]
+
+    def test_medoids_are_data_points(self, blobs):
+        result = KMedoids(n_clusters=3).fit(blobs)
+        rows = {tuple(r) for r in blobs}
+        assert all(tuple(c) in rows for c in result.centers)
+
+    def test_cost_recorded(self, blobs):
+        model = KMedoids(n_clusters=3)
+        model.fit(blobs)
+        assert model.cost_ is not None and model.cost_ > 0
+
+    def test_cost_no_worse_than_build_only(self, blobs):
+        """SWAP must not increase the BUILD cost."""
+        swapped = KMedoids(n_clusters=3, max_swaps=100)
+        swapped.fit(blobs)
+        build_only = KMedoids(n_clusters=3, max_swaps=0)
+        build_only.fit(blobs)
+        assert swapped.cost_ <= build_only.cost_ + 1e-9
+
+    def test_single_medoid_minimises_cost(self):
+        pts = np.array([[0.0], [1.0], [2.0], [10.0]])
+        model = KMedoids(n_clusters=1)
+        result = model.fit(pts)
+        # The medoid must be the 1-median of the points: 1.0 or 2.0.
+        assert result.centers[0, 0] in (1.0, 2.0)
+
+    def test_weighted_medoid(self):
+        """A dominant weight pulls the medoid onto that point."""
+        pts = np.array([[0.0], [1.0], [10.0]])
+        result = KMedoids(n_clusters=1).fit(
+            pts, sample_weight=np.array([1.0, 1.0, 50.0])
+        )
+        assert result.centers[0, 0] == 10.0
+
+    def test_outlier_resistance_vs_kmeans(self):
+        """The medoid stays inside the blob despite a far outlier."""
+        pts = np.vstack(
+            [np.random.default_rng(0).normal(0, 0.1, (30, 2)),
+             [[100.0, 100.0]]]
+        )
+        result = KMedoids(n_clusters=1).fit(pts)
+        assert np.linalg.norm(result.centers[0]) < 1.0
+
+    def test_weight_shape_checked(self, blobs):
+        with pytest.raises(ParameterError, match="sample_weight"):
+            KMedoids(n_clusters=2).fit(blobs, sample_weight=np.ones(3))
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ParameterError):
+            KMedoids(n_clusters=0)

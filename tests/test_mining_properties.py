@@ -1,0 +1,85 @@
+"""Property-based tests for the mining subpackage."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.mining import TransactionDataset, apriori, association_rules
+from repro.mining.sampled_apriori import negative_border
+
+transaction_matrices = hnp.arrays(
+    dtype=bool,
+    shape=st.tuples(st.integers(1, 40), st.integers(2, 10)),
+)
+
+
+class TestAprioriProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(matrix=transaction_matrices, support=st.floats(0.05, 0.9))
+    def test_downward_closure_always(self, matrix, support):
+        from itertools import combinations
+
+        data = TransactionDataset(matrix=matrix, patterns=[])
+        frequent = apriori(data, min_support=support)
+        for itemset in frequent:
+            assert frequent[itemset] >= support
+            for r in range(1, len(itemset)):
+                for subset in combinations(sorted(itemset), r):
+                    assert frozenset(subset) in frequent
+
+    @settings(max_examples=40, deadline=None)
+    @given(matrix=transaction_matrices, support=st.floats(0.05, 0.9))
+    def test_supports_exact(self, matrix, support):
+        data = TransactionDataset(matrix=matrix, patterns=[])
+        frequent = apriori(data, min_support=support)
+        for itemset, value in frequent.items():
+            direct = matrix[:, sorted(itemset)].all(axis=1).mean()
+            assert abs(value - direct) < 1e-12
+
+    @settings(max_examples=40, deadline=None)
+    @given(matrix=transaction_matrices)
+    def test_border_disjoint_from_frequent(self, matrix):
+        data = TransactionDataset(matrix=matrix, patterns=[])
+        frequent = set(apriori(data, min_support=0.3))
+        border = negative_border(frequent, data.n_items)
+        assert not (border & frequent)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        matrix=transaction_matrices,
+        confidence=st.floats(0.1, 1.0),
+    )
+    def test_rule_invariants(self, matrix, confidence):
+        data = TransactionDataset(matrix=matrix, patterns=[])
+        frequent = apriori(data, min_support=0.2)
+        rules = association_rules(frequent, min_confidence=confidence)
+        for rule in rules:
+            assert rule.confidence >= confidence - 1e-12
+            assert rule.confidence <= 1.0 + 1e-12
+            assert not (rule.antecedent & rule.consequent)
+            # Rule support equals the union itemset's support.
+            union = rule.antecedent | rule.consequent
+            assert abs(rule.support - frequent[union]) < 1e-12
+
+
+class TestDecisionTreeProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        points=hnp.arrays(
+            dtype=np.float64,
+            shape=st.tuples(st.integers(4, 60), st.integers(1, 3)),
+            elements=st.floats(-100, 100),
+        ),
+        seed=st.integers(0, 100),
+    )
+    def test_training_accuracy_beats_majority(self, points, seed):
+        """A depth-4 tree's training accuracy is at least the majority
+        class share (the root prediction alone achieves that)."""
+        from repro.mining import DecisionTreeClassifier
+
+        rng = np.random.default_rng(seed)
+        labels = rng.integers(0, 3, size=points.shape[0])
+        tree = DecisionTreeClassifier(max_depth=4).fit(points, labels)
+        majority = np.bincount(labels).max() / labels.shape[0]
+        assert tree.score(points, labels) >= majority - 1e-12

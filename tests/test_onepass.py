@@ -1,0 +1,93 @@
+"""Tests for the integrated one-pass biased sampler."""
+
+import numpy as np
+import pytest
+
+from repro.core import DensityBiasedSampler, OnePassBiasedSampler
+from repro.density import KnnDensityEstimator
+from repro.exceptions import ParameterError
+from repro.utils.streams import DataStream
+
+
+@pytest.fixture
+def data():
+    rng = np.random.default_rng(2)
+    return np.vstack(
+        [
+            rng.normal(0.0, 0.05, size=(4000, 2)),
+            rng.uniform(-2.0, 2.0, size=(4000, 2)),
+        ]
+    )
+
+
+class TestPassCounts:
+    def test_single_sampling_pass_after_fit(self, data):
+        stream = DataStream(data)
+        OnePassBiasedSampler(
+            sample_size=200, exponent=1.0, random_state=0
+        ).sample(None, stream=stream)
+        # One fit pass + one combined sampling pass.
+        assert stream.passes == 2
+
+    def test_saves_a_pass_vs_two_pass(self, data):
+        stream_one = DataStream(data)
+        OnePassBiasedSampler(
+            sample_size=200, exponent=1.0, random_state=0
+        ).sample(None, stream=stream_one)
+        stream_two = DataStream(data)
+        DensityBiasedSampler(
+            sample_size=200, exponent=1.0, random_state=0
+        ).sample(None, stream=stream_two)
+        assert stream_one.passes == stream_two.passes - 1
+
+    def test_non_kernel_estimator_costs_pilot_pass(self, data):
+        estimator = KnnDensityEstimator(n_sample=200, k=5, random_state=0)
+        stream = DataStream(data)
+        OnePassBiasedSampler(
+            sample_size=200, exponent=1.0, estimator=estimator, random_state=0
+        ).sample(None, stream=stream)
+        # fit + pilot + sampling.
+        assert stream.passes == 3
+
+
+class TestQuality:
+    def test_size_close_to_target(self, data):
+        sample = OnePassBiasedSampler(
+            sample_size=400, exponent=1.0, random_state=0
+        ).sample(data)
+        assert abs(len(sample) - 400) < 120
+
+    def test_bias_direction_preserved(self, data):
+        sample = OnePassBiasedSampler(
+            sample_size=400, exponent=1.0, random_state=0
+        ).sample(data)
+        assert (sample.indices < 4000).mean() > 0.7
+
+    def test_negative_exponent(self, data):
+        sample = OnePassBiasedSampler(
+            sample_size=400, exponent=-0.5, random_state=0
+        ).sample(data)
+        assert (sample.indices < 4000).mean() < 0.4
+
+    def test_normalizer_close_to_exact(self, data):
+        one = OnePassBiasedSampler(
+            sample_size=300, exponent=1.0, random_state=0
+        )
+        one.sample(data)
+        two = DensityBiasedSampler(
+            sample_size=300, exponent=1.0, random_state=0
+        )
+        two.sample(data)
+        assert one.normalizer_ == pytest.approx(two.normalizer_, rel=0.25)
+
+    def test_result_fields(self, data):
+        sample = OnePassBiasedSampler(
+            sample_size=300, exponent=0.5, random_state=1
+        ).sample(data)
+        np.testing.assert_array_equal(sample.points, data[sample.indices])
+        assert (sample.probabilities > 0).all()
+        assert (sample.probabilities <= 1).all()
+
+    def test_rejects_bad_pilot(self):
+        with pytest.raises(ParameterError):
+            OnePassBiasedSampler(pilot_size=0)

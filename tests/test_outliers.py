@@ -1,0 +1,179 @@
+"""Tests for DB(p, k) outlier detection (exact and approximate)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_outlier_dataset
+from repro.exceptions import ParameterError
+from repro.outliers import (
+    ApproximateOutlierDetector,
+    IndexedOutlierDetector,
+    NestedLoopOutlierDetector,
+    is_db_outlier_count,
+)
+from repro.outliers.base import resolve_p
+from repro.utils.streams import DataStream
+
+
+@pytest.fixture
+def simple_case():
+    """A tight blob plus two isolated points: unambiguous outliers."""
+    rng = np.random.default_rng(0)
+    blob = rng.normal(0.0, 0.05, size=(300, 2))
+    outliers = np.array([[3.0, 3.0], [-3.0, 2.0]])
+    return np.vstack([blob, outliers]), {300, 301}
+
+
+class TestDefinitions:
+    def test_predicate(self):
+        assert is_db_outlier_count(0, p=0)
+        assert is_db_outlier_count(5, p=5)
+        assert not is_db_outlier_count(6, p=5)
+
+    def test_resolve_p_exclusive_args(self):
+        with pytest.raises(ParameterError, match="exactly one"):
+            resolve_p(None, None, 100)
+        with pytest.raises(ParameterError, match="exactly one"):
+            resolve_p(3, 0.1, 100)
+
+    def test_resolve_fraction(self):
+        assert resolve_p(None, 0.05, 200) == 10
+
+    def test_resolve_rejects_bad_values(self):
+        with pytest.raises(ParameterError):
+            resolve_p(-1, None, 100)
+        with pytest.raises(ParameterError):
+            resolve_p(None, 1.0, 100)
+
+
+class TestExactDetectors:
+    def test_nested_loop_finds_isolated(self, simple_case):
+        data, truth = simple_case
+        result = NestedLoopOutlierDetector(k=0.5, p=0).detect(data)
+        assert set(result.indices.tolist()) == truth
+
+    def test_indexed_finds_isolated(self, simple_case):
+        data, truth = simple_case
+        result = IndexedOutlierDetector(k=0.5, p=0).detect(data)
+        assert set(result.indices.tolist()) == truth
+
+    def test_detectors_agree(self):
+        rng = np.random.default_rng(1)
+        data = rng.random((500, 3))
+        for k, p in ((0.1, 2), (0.2, 5), (0.05, 0)):
+            nested = NestedLoopOutlierDetector(k=k, p=p).detect(data)
+            indexed = IndexedOutlierDetector(k=k, p=p).detect(data)
+            np.testing.assert_array_equal(nested.indices, indexed.indices)
+            np.testing.assert_array_equal(
+                nested.neighbor_counts, indexed.neighbor_counts
+            )
+
+    def test_small_blocks_equal_big_blocks(self, simple_case):
+        data, _ = simple_case
+        small = NestedLoopOutlierDetector(k=0.5, p=0, block_size=7).detect(
+            data
+        )
+        big = NestedLoopOutlierDetector(k=0.5, p=0, block_size=100_000).detect(
+            data
+        )
+        np.testing.assert_array_equal(small.indices, big.indices)
+
+    def test_self_not_counted(self):
+        data = np.array([[0.0, 0.0], [10.0, 0.0]])
+        result = IndexedOutlierDetector(k=1.0, p=0).detect(data)
+        # Both points have zero neighbours within k=1: both are outliers.
+        assert len(result) == 2
+        assert (result.neighbor_counts == 0).all()
+
+    def test_fraction_parameterisation(self, simple_case):
+        data, truth = simple_case
+        result = IndexedOutlierDetector(k=0.5, fraction=0.001).detect(data)
+        assert set(result.indices.tolist()) == truth
+
+    def test_p_large_makes_everything_outlier(self):
+        data = np.random.default_rng(2).random((50, 2))
+        result = IndexedOutlierDetector(k=0.1, p=50).detect(data)
+        assert len(result) == 50
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ParameterError):
+            NestedLoopOutlierDetector(k=0.0, p=1)
+
+
+class TestApproximateDetector:
+    def test_matches_exact_on_planted(self):
+        data = make_outlier_dataset(
+            n_points=4000, n_outliers=12, random_state=1
+        )
+        k = data.guaranteed_radius
+        approx = ApproximateOutlierDetector(k=k, p=0, random_state=0).detect(
+            data.points
+        )
+        exact = IndexedOutlierDetector(k=k, p=0).detect(data.points)
+        assert set(approx.indices.tolist()) == set(exact.indices.tolist())
+
+    def test_verification_guarantees_precision(self, simple_case):
+        """Everything reported must truly satisfy the DB predicate."""
+        data, _ = simple_case
+        result = ApproximateOutlierDetector(
+            k=0.5, p=0, random_state=0
+        ).detect(data)
+        exact = IndexedOutlierDetector(k=0.5, p=0).detect(data)
+        assert set(result.indices.tolist()) <= set(exact.indices.tolist())
+
+    def test_pass_budget(self, simple_case):
+        """Fit + screen + verify <= 3 passes (the paper's budget)."""
+        data, _ = simple_case
+        stream = DataStream(data)
+        ApproximateOutlierDetector(k=0.5, p=0, random_state=0).detect(
+            None, stream=stream
+        )
+        assert stream.passes <= 3
+
+    def test_screening_shrinks_candidates(self):
+        data = make_outlier_dataset(
+            n_points=5000, n_outliers=10, random_state=2
+        )
+        result = ApproximateOutlierDetector(
+            k=data.guaranteed_radius, p=0, random_state=0
+        ).detect(data.points)
+        assert result.n_candidates < data.n_points * 0.05
+
+    def test_montecarlo_screen(self, simple_case):
+        data, truth = simple_case
+        result = ApproximateOutlierDetector(
+            k=0.5, p=0, screen="montecarlo", n_mc=64, random_state=0
+        ).detect(data)
+        assert set(result.indices.tolist()) == truth
+
+    def test_count_estimate_in_right_ballpark(self):
+        data = make_outlier_dataset(
+            n_points=5000, n_outliers=25, random_state=3
+        )
+        estimate = ApproximateOutlierDetector(
+            k=data.guaranteed_radius, p=0, random_state=0
+        ).estimate_outlier_count(data.points)
+        assert 5 <= estimate <= 250  # one-pass estimate, order of magnitude
+
+    def test_no_outliers_case(self):
+        data = np.random.default_rng(4).normal(0, 0.05, size=(500, 2))
+        result = ApproximateOutlierDetector(
+            k=1.0, p=0, random_state=0
+        ).detect(data)
+        assert len(result) == 0
+
+    def test_rejects_bad_screen(self):
+        with pytest.raises(ParameterError, match="screen"):
+            ApproximateOutlierDetector(k=0.1, p=0, screen="exact")
+
+    def test_neighbor_counts_verified(self, simple_case):
+        data, _ = simple_case
+        result = ApproximateOutlierDetector(
+            k=0.5, p=0, random_state=0
+        ).detect(data)
+        exact = IndexedOutlierDetector(k=0.5, p=0).detect(data)
+        exact_counts = dict(zip(exact.indices.tolist(),
+                                exact.neighbor_counts.tolist()))
+        for idx, count in zip(result.indices.tolist(),
+                              result.neighbor_counts.tolist()):
+            assert exact_counts[idx] == count

@@ -1,0 +1,100 @@
+"""Tests for the Palmer-Faloutsos grid/hash biased sampler."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import GridBiasedSampler
+from repro.exceptions import ParameterError
+
+
+@pytest.fixture
+def two_density_data():
+    rng = np.random.default_rng(0)
+    dense = rng.normal((0.25, 0.25), 0.02, size=(5000, 2))
+    sparse = rng.uniform(0.5, 1.0, size=(1000, 2))
+    return np.vstack([dense, sparse])
+
+
+class TestGridSampler:
+    def test_expected_size(self, two_density_data):
+        sizes = [
+            len(
+                GridBiasedSampler(
+                    sample_size=300, exponent=-0.5, random_state=seed
+                ).sample(two_density_data)
+            )
+            for seed in range(8)
+        ]
+        assert abs(np.mean(sizes) - 300) < 60
+
+    def test_exponent_one_is_uniform(self, two_density_data):
+        sampler = GridBiasedSampler(
+            sample_size=300, exponent=1.0, random_state=0
+        )
+        sample = sampler.sample(two_density_data)
+        expected = 300 / two_density_data.shape[0]
+        np.testing.assert_allclose(sample.probabilities, expected, rtol=1e-9)
+
+    def test_negative_exponent_oversamples_sparse(self, two_density_data):
+        sample = GridBiasedSampler(
+            sample_size=400, exponent=-0.5, random_state=0
+        ).sample(two_density_data)
+        sparse_share = (sample.indices >= 5000).mean()
+        # Sparse region is 1/6 of the data but should dominate the sample.
+        assert sparse_share > 0.5
+
+    def test_exponent_zero_equalises_groups(self):
+        """e=0: every occupied cell expects the same sample count."""
+        rng = np.random.default_rng(1)
+        heavy = rng.uniform(0.0, 0.245, size=(9000, 2))
+        light = rng.uniform(0.75, 0.995, size=(1000, 2))
+        data = np.vstack([heavy, light])
+        sample = GridBiasedSampler(
+            sample_size=500, exponent=0.0, bins_per_dim=2, random_state=0
+        ).sample(data)
+        heavy_count = (sample.indices < 9000).sum()
+        light_count = (sample.indices >= 9000).sum()
+        assert abs(heavy_count - light_count) < 100
+
+    def test_collisions_with_tiny_table(self, two_density_data):
+        """A tiny hash table must still work, with collisions visible as
+        fewer occupied buckets than true cells."""
+        big = GridBiasedSampler(
+            sample_size=300, exponent=-0.5, bins_per_dim=64,
+            memory_bytes=1 << 22, random_state=0,
+        )
+        big.sample(two_density_data)
+        tiny = GridBiasedSampler(
+            sample_size=300, exponent=-0.5, bins_per_dim=64,
+            memory_bytes=128, random_state=0,
+        )
+        tiny.sample(two_density_data)
+        assert tiny.n_occupied_buckets_ <= 16
+        assert big.n_occupied_buckets_ > tiny.n_occupied_buckets_
+
+    def test_deterministic(self, two_density_data):
+        a = GridBiasedSampler(sample_size=200, random_state=9).sample(
+            two_density_data
+        )
+        b = GridBiasedSampler(sample_size=200, random_state=9).sample(
+            two_density_data
+        )
+        np.testing.assert_array_equal(a.indices, b.indices)
+
+    def test_result_consistency(self, two_density_data):
+        sample = GridBiasedSampler(
+            sample_size=200, exponent=-0.5, random_state=0
+        ).sample(two_density_data)
+        np.testing.assert_array_equal(
+            sample.points, two_density_data[sample.indices]
+        )
+        assert (sample.probabilities > 0).all()
+        assert (sample.probabilities <= 1).all()
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ParameterError):
+            GridBiasedSampler(sample_size=0)
+        with pytest.raises(ParameterError):
+            GridBiasedSampler(bins_per_dim=0)
+        with pytest.raises(ParameterError):
+            GridBiasedSampler(memory_bytes=0)

@@ -1,0 +1,120 @@
+"""Tests for the one-call approximate-clustering pipeline."""
+
+import numpy as np
+import pytest
+
+from repro import ApproximateClusteringPipeline, UniformSampler
+from repro.clustering import KMeans
+from repro.datasets import make_clustered_dataset
+from repro.evaluation import adjusted_rand_index
+from repro.exceptions import ParameterError
+from repro.pipeline import _keep_largest
+from repro.utils.streams import DataStream
+
+
+@pytest.fixture
+def blobs():
+    rng = np.random.default_rng(0)
+    return np.vstack(
+        [rng.normal(c, 0.05, (2000, 2)) for c in ((0, 0), (1, 1), (0, 1))]
+    )
+
+
+class TestPipeline:
+    def test_recovers_blobs(self, blobs):
+        result = ApproximateClusteringPipeline(
+            n_clusters=3, random_state=0
+        ).fit(blobs)
+        truth = np.repeat([0, 1, 2], 2000)
+        assert adjusted_rand_index(truth, result.labels) > 0.95
+
+    def test_reports_all_components(self, blobs):
+        result = ApproximateClusteringPipeline(
+            n_clusters=3, random_state=0
+        ).fit(blobs)
+        assert result.labels.shape == (6000,)
+        assert result.clustering.n_clusters == 3
+        assert len(result.sample) > 0
+        assert result.n_passes == 4  # fit + normalise + gather + assign
+
+    def test_noisy_dataset_with_guide_settings(self):
+        data = make_clustered_dataset(
+            n_points=20_000, n_clusters=5, noise_fraction=0.5,
+            random_state=1,
+        )
+        result = ApproximateClusteringPipeline(
+            n_clusters=5,
+            task="dense-clusters",
+            noise_level=0.5,
+            random_state=0,
+        ).fit(data.points)
+        keep = data.labels >= 0
+        score = adjusted_rand_index(
+            data.labels[keep], result.labels[keep]
+        )
+        assert score > 0.6
+
+    def test_custom_sampler(self, blobs):
+        result = ApproximateClusteringPipeline(
+            n_clusters=3,
+            sampler=UniformSampler(300, random_state=0),
+        ).fit(blobs)
+        assert result.sample.exponent == 0.0
+
+    def test_custom_clusterer(self, blobs):
+        result = ApproximateClusteringPipeline(
+            n_clusters=3,
+            clusterer=KMeans(n_clusters=3, random_state=0),
+            random_state=0,
+        ).fit(blobs)
+        assert result.clustering.n_clusters == 3
+
+    def test_stream_input_and_pass_accounting(self, blobs):
+        stream = DataStream(blobs)
+        list(stream)  # unrelated earlier pass
+        result = ApproximateClusteringPipeline(
+            n_clusters=3, random_state=0
+        ).fit(None, stream=stream)
+        assert result.n_passes == 4  # counts only the pipeline's own
+
+    def test_tiny_sample_rejected(self):
+        data = np.random.default_rng(0).random((40, 2))
+        pipeline = ApproximateClusteringPipeline(
+            n_clusters=3,
+            sampler=UniformSampler(2, exact_size=True, random_state=0),
+        )
+        with pytest.raises(ParameterError, match="sample holds only"):
+            pipeline.fit(data)
+
+    def test_rejects_bad_n_clusters(self):
+        with pytest.raises(ParameterError):
+            ApproximateClusteringPipeline(n_clusters=0)
+
+
+class TestKeepLargest:
+    def test_truncates_and_relabels(self):
+        from repro.clustering.base import ClusteringResult
+
+        clustering = ClusteringResult(
+            labels=np.array([0, 0, 0, 1, 2, 2]),
+            centers=np.array([[0.0], [1.0], [2.0]]),
+            representatives=[np.zeros((1, 1)), np.ones((1, 1)),
+                             np.full((1, 1), 2.0)],
+            sizes=np.array([3, 1, 2]),
+        )
+        top2 = _keep_largest(clustering, 2)
+        assert top2.n_clusters == 2
+        # Cluster 1 (size 1) was dropped; its members become -1.
+        assert (top2.labels == -1).sum() == 1
+        assert top2.sizes.tolist() == [3, 2]
+
+    def test_noop_when_small_enough(self):
+        from repro.clustering.base import ClusteringResult
+
+        clustering = ClusteringResult(
+            labels=np.array([0, 1]),
+            centers=np.zeros((2, 1)),
+            representatives=[np.zeros((1, 1))] * 2,
+            sizes=np.array([1, 1]),
+        )
+        assert _keep_largest(clustering, 5) is clustering

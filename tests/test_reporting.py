@@ -1,0 +1,85 @@
+"""Tests for the report formatting internals."""
+
+from repro.experiments.reporting import ExperimentResult, Table, _fmt
+
+
+class TestFormatting:
+    def test_bools(self):
+        assert _fmt(True) == "yes"
+        assert _fmt(False) == "no"
+
+    def test_zero(self):
+        assert _fmt(0.0) == "0"
+
+    def test_small_floats_scientific(self):
+        assert "e" in _fmt(0.00001) or _fmt(0.00001) == "1e-05"
+
+    def test_large_floats_compact(self):
+        assert len(_fmt(123456.789)) <= 9
+
+    def test_trailing_zeros_stripped(self):
+        assert _fmt(1.5) == "1.5"
+        assert _fmt(2.0) == "2"
+
+    def test_ints_and_strings_verbatim(self):
+        assert _fmt(42) == "42"
+        assert _fmt("abc") == "abc"
+
+
+class TestRender:
+    def test_full_report(self):
+        result = ExperimentResult(name="demo", description="a demo")
+        table = result.new_table("numbers", ["x", "y"])
+        table.add_row(1, 2.0)
+        result.notes.append("a note")
+        text = result.render()
+        assert "# demo: a demo" in text
+        assert "## numbers" in text
+        assert "a note" in text
+
+    def test_empty_table_renders(self):
+        table = Table(title="empty", headers=["only_header"])
+        text = table.render()
+        assert "only_header" in text
+
+    def test_column_missing_header_raises(self):
+        table = Table(title="t", headers=["a"])
+        table.add_row(1)
+        try:
+            table.column("b")
+        except ValueError:
+            pass
+        else:  # pragma: no cover
+            raise AssertionError("expected ValueError")
+
+
+class TestRenderPlots:
+    def test_sweep_tables_become_charts(self):
+        from repro.experiments.runner import render_plots
+
+        result = ExperimentResult(name="e", description="d")
+        sweep = result.new_table("sweep", ["x", "metric", "verdict"])
+        sweep.add_row(1, 5.0, True)
+        sweep.add_row(2, 7.0, False)
+        charts = render_plots(result)
+        assert len(charts) == 1
+        # The numeric series is plotted, the boolean verdict is not.
+        assert "metric" in charts[0]
+        assert "verdict" not in charts[0]
+
+    def test_non_numeric_axis_skipped(self):
+        from repro.experiments.runner import render_plots
+
+        result = ExperimentResult(name="e", description="d")
+        table = result.new_table("names", ["method", "score"])
+        table.add_row("a", 1.0)
+        table.add_row("b", 2.0)
+        assert render_plots(result) == []
+
+    def test_single_row_skipped(self):
+        from repro.experiments.runner import render_plots
+
+        result = ExperimentResult(name="e", description="d")
+        table = result.new_table("one", ["x", "y"])
+        table.add_row(1, 2)
+        assert render_plots(result) == []

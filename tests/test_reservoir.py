@@ -1,0 +1,61 @@
+"""Tests for reservoir sampling (Vitter's Algorithm R)."""
+
+import numpy as np
+import pytest
+
+from repro.density.reservoir import ReservoirSampler, reservoir_sample
+from repro.utils.streams import DataStream
+
+
+class TestReservoirSampler:
+    def test_keeps_everything_when_under_capacity(self):
+        sampler = ReservoirSampler(10, random_state=0)
+        data = np.arange(6, dtype=float).reshape(3, 2)
+        sampler.extend(data)
+        np.testing.assert_array_equal(sampler.sample, data)
+
+    def test_capacity_respected(self):
+        sampler = ReservoirSampler(5, random_state=0)
+        sampler.extend(np.random.default_rng(0).normal(size=(100, 2)))
+        assert sampler.sample.shape == (5, 2)
+        assert sampler.n_seen == 100
+
+    def test_sample_rows_come_from_stream(self):
+        data = np.arange(200, dtype=float).reshape(100, 2)
+        sampler = ReservoirSampler(10, random_state=1)
+        sampler.extend(data)
+        rows = {tuple(r) for r in data}
+        assert all(tuple(r) in rows for r in sampler.sample)
+
+    def test_uniformity(self):
+        """Each of 20 items should land in a size-5 reservoir ~25% of
+        the time over repeated runs."""
+        hits = np.zeros(20)
+        n_runs = 2000
+        for seed in range(n_runs):
+            sampler = ReservoirSampler(5, random_state=seed)
+            sampler.extend(np.arange(20, dtype=float).reshape(20, 1))
+            for value in sampler.sample.ravel():
+                hits[int(value)] += 1
+        rates = hits / n_runs
+        # True probability is 5/20 = 0.25 for every item.
+        assert (np.abs(rates - 0.25) < 0.05).all()
+
+    def test_empty_sample(self):
+        assert ReservoirSampler(3).sample.shape == (0, 0)
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError, match="capacity"):
+            ReservoirSampler(0)
+
+
+class TestReservoirSampleFunction:
+    def test_one_pass(self):
+        stream = DataStream(np.random.default_rng(0).normal(size=(50, 2)))
+        sample = reservoir_sample(None, 10, random_state=0, stream=stream)
+        assert sample.shape == (10, 2)
+        assert stream.passes == 1
+
+    def test_accepts_raw_arrays(self):
+        sample = reservoir_sample(np.zeros((30, 3)), 4, random_state=0)
+        assert sample.shape == (4, 3)

@@ -1,0 +1,114 @@
+"""Tests for Toivonen-style sampled frequent-itemset mining."""
+
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.mining import apriori, make_transaction_dataset, sampled_apriori
+from repro.mining.sampled_apriori import negative_border
+
+
+class TestNegativeBorder:
+    def test_missing_single_items(self):
+        frequent = {frozenset({0}), frozenset({1})}
+        border = negative_border(frequent, n_items=3)
+        assert frozenset({2}) in border
+        # {0,1} has all subsets frequent but is itself not frequent.
+        assert frozenset({0, 1}) in border
+
+    def test_no_border_inside_closure(self):
+        frequent = {
+            frozenset({0}),
+            frozenset({1}),
+            frozenset({0, 1}),
+        }
+        border = negative_border(frequent, n_items=2)
+        assert border == set()
+
+    def test_border_sets_are_minimal(self):
+        """Every border set's proper subsets must all be frequent."""
+        from itertools import combinations
+
+        data = make_transaction_dataset(n_transactions=400, random_state=0)
+        frequent = set(apriori(data, min_support=0.1))
+        border = negative_border(frequent, data.n_items)
+        for itemset in border:
+            assert itemset not in frequent
+            for r in range(1, len(itemset)):
+                for subset in combinations(sorted(itemset), r):
+                    assert frozenset(subset) in frequent
+
+
+class TestSampledApriori:
+    @pytest.fixture
+    def data(self):
+        return make_transaction_dataset(
+            n_transactions=4000, n_items=120, random_state=1
+        )
+
+    def test_certified_run_is_exactly_right(self, data):
+        exact = apriori(data, min_support=0.08)
+        result = sampled_apriori(
+            data, min_support=0.08, sample_size=800, random_state=0
+        )
+        if result.certified:
+            assert set(result.frequent) == set(exact)
+        else:
+            # Uncertified: found sets plus missed border must cover.
+            assert set(result.frequent) <= set(exact)
+
+    def test_reported_supports_are_exact(self, data):
+        result = sampled_apriori(
+            data, min_support=0.08, sample_size=800, random_state=0
+        )
+        for itemset, support in result.frequent.items():
+            assert support == pytest.approx(data.support(itemset))
+            assert support >= 0.08
+
+    def test_single_full_pass(self, data):
+        result = sampled_apriori(
+            data, min_support=0.08, sample_size=500, random_state=0
+        )
+        assert result.n_full_passes == 1
+
+    def test_lowered_threshold_improves_recall(self, data):
+        """Mining the sample at the *un*-lowered threshold risks
+        misses; the default lowering protects recall."""
+        exact = set(apriori(data, min_support=0.08))
+        hits_lowered = []
+        hits_plain = []
+        for seed in range(5):
+            lowered = sampled_apriori(
+                data, min_support=0.08, sample_size=300, random_state=seed
+            )
+            plain = sampled_apriori(
+                data,
+                min_support=0.08,
+                sample_size=300,
+                lowered_support=0.08,
+                random_state=seed,
+            )
+            hits_lowered.append(len(set(lowered.frequent) & exact))
+            hits_plain.append(len(set(plain.frequent) & exact))
+        assert sum(hits_lowered) >= sum(hits_plain)
+
+    def test_length_biased_sampling(self, data):
+        result = sampled_apriori(
+            data,
+            min_support=0.08,
+            sample_size=800,
+            bias="length",
+            random_state=0,
+        )
+        exact = set(apriori(data, min_support=0.08))
+        recall = len(set(result.frequent) & exact) / len(exact)
+        assert recall >= 0.8
+
+    def test_rejects_bad_args(self, data):
+        with pytest.raises(ParameterError):
+            sampled_apriori(data, min_support=0.1, sample_size=0)
+        with pytest.raises(ParameterError):
+            sampled_apriori(
+                data, min_support=0.1, sample_size=100, bias="random"
+            )
+        with pytest.raises(ParameterError):
+            sampled_apriori(data, min_support=0.0, sample_size=100)

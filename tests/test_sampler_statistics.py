@@ -1,0 +1,103 @@
+"""Statistical validation of the sampling distributions.
+
+These tests check the samplers against their advertised probability
+laws by repetition — empirical inclusion frequencies must match the
+computed per-point probabilities, which is the load-bearing property
+behind every Horvitz-Thompson correction in the library.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import GridBiasedSampler
+from repro.core import DensityBiasedSampler
+from repro.density import KernelDensityEstimator
+
+
+class TestInclusionFrequencies:
+    def test_biased_sampler_matches_probabilities(self):
+        rng = np.random.default_rng(0)
+        data = np.vstack(
+            [
+                rng.normal(0.0, 0.05, size=(500, 2)),
+                rng.uniform(-1.0, 1.0, size=(500, 2)),
+            ]
+        )
+        estimator = KernelDensityEstimator(
+            n_kernels=128, random_state=0
+        ).fit(data)
+        n_runs = 300
+        hits = np.zeros(data.shape[0])
+        probs = None
+        for seed in range(n_runs):
+            sampler = DensityBiasedSampler(
+                sample_size=200,
+                exponent=1.0,
+                estimator=estimator,
+                random_state=seed,
+            )
+            sample = sampler.sample(data)
+            hits[sample.indices] += 1
+            probs = sampler.probabilities_  # same every run (fixed f)
+        freq = hits / n_runs
+        # Binomial standard error per point ~ sqrt(p(1-p)/n_runs);
+        # check deviations stay within ~4 sigma everywhere.
+        sigma = np.sqrt(probs * (1 - probs) / n_runs) + 1e-9
+        z = np.abs(freq - probs) / sigma
+        assert np.quantile(z, 0.99) < 4.0
+        assert abs(freq.mean() - probs.mean()) < 0.01
+
+    def test_expected_size_unbiased_over_runs(self):
+        rng = np.random.default_rng(1)
+        data = rng.normal(size=(3000, 2))
+        sizes = [
+            len(
+                DensityBiasedSampler(
+                    sample_size=300, exponent=0.5, random_state=seed
+                ).sample(data)
+            )
+            for seed in range(40)
+        ]
+        # Mean within 3 standard errors of the target.
+        se = np.std(sizes) / np.sqrt(len(sizes))
+        assert abs(np.mean(sizes) - 300) < 3 * se + 3
+
+    def test_grid_sampler_group_rates(self):
+        """Two groups with e=0 must receive equal expected counts."""
+        rng = np.random.default_rng(2)
+        heavy = rng.uniform(0.0, 0.24, size=(3600, 2))
+        light = rng.uniform(0.76, 0.99, size=(400, 2))
+        data = np.vstack([heavy, light])
+        heavy_counts, light_counts = [], []
+        for seed in range(30):
+            sample = GridBiasedSampler(
+                sample_size=200, exponent=0.0, bins_per_dim=2,
+                random_state=seed,
+            ).sample(data)
+            heavy_counts.append(int((sample.indices < 3600).sum()))
+            light_counts.append(int((sample.indices >= 3600).sum()))
+        ratio = np.mean(heavy_counts) / max(np.mean(light_counts), 1e-9)
+        assert 0.75 < ratio < 1.3
+
+
+class TestHorvitzThompsonTotals:
+    def test_weighted_count_estimates_n(self):
+        """sum of 1/p over the sample estimates the dataset size for
+        ANY exponent — the defining HT property."""
+        rng = np.random.default_rng(3)
+        data = np.vstack(
+            [
+                rng.normal(0.0, 0.05, size=(2000, 2)),
+                rng.uniform(-1.0, 1.0, size=(2000, 2)),
+            ]
+        )
+        for exponent in (1.0, -0.5):
+            estimates = []
+            for seed in range(25):
+                sample = DensityBiasedSampler(
+                    sample_size=400, exponent=exponent, random_state=seed
+                ).sample(data)
+                estimates.append(sample.weights.sum())
+            assert np.mean(estimates) == pytest.approx(4000, rel=0.05), (
+                exponent
+            )

@@ -1,0 +1,54 @@
+"""Tests for repro.utils.scaling."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NotFittedError
+from repro.utils.scaling import MinMaxScaler
+
+
+class TestMinMaxScaler:
+    def test_transform_maps_to_unit_cube(self):
+        data = np.array([[0.0, 10.0], [5.0, 20.0], [10.0, 30.0]])
+        unit = MinMaxScaler().fit_transform(data)
+        assert unit.min() == 0.0
+        assert unit.max() == 1.0
+
+    def test_inverse_roundtrip(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(5.0, 3.0, size=(50, 3))
+        scaler = MinMaxScaler().fit(data)
+        back = scaler.inverse_transform(scaler.transform(data))
+        np.testing.assert_allclose(back, data, atol=1e-12)
+
+    def test_constant_column_maps_to_half(self):
+        data = np.array([[1.0, 7.0], [2.0, 7.0], [3.0, 7.0]])
+        unit = MinMaxScaler().fit_transform(data)
+        assert (unit[:, 1] == 0.5).all()
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            MinMaxScaler().transform([[1.0]])
+
+    def test_partial_fit_matches_full_fit(self):
+        rng = np.random.default_rng(1)
+        data = rng.normal(size=(100, 2))
+        full = MinMaxScaler().fit(data)
+        streamed = MinMaxScaler()
+        streamed.partial_fit(data[:30])
+        streamed.partial_fit(data[30:70])
+        streamed.partial_fit(data[70:])
+        np.testing.assert_allclose(full.data_min_, streamed.data_min_)
+        np.testing.assert_allclose(full.data_max_, streamed.data_max_)
+
+    def test_out_of_range_points_extrapolate(self):
+        scaler = MinMaxScaler().fit([[0.0], [10.0]])
+        assert scaler.transform([[20.0]])[0, 0] == 2.0
+
+    def test_volume(self):
+        scaler = MinMaxScaler().fit([[0.0, 0.0], [2.0, 5.0]])
+        assert scaler.volume_ == 10.0
+
+    def test_volume_ignores_degenerate_dims(self):
+        scaler = MinMaxScaler().fit([[0.0, 3.0], [2.0, 3.0]])
+        assert scaler.volume_ == 2.0

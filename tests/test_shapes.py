@@ -1,0 +1,78 @@
+"""Tests for the cluster shape primitives."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import Ball, Ellipsoid, HyperRectangle
+from repro.exceptions import ParameterError
+
+
+class TestHyperRectangle:
+    def test_contains(self):
+        box = HyperRectangle([0.0, 0.0], [1.0, 2.0])
+        inside = box.contains(np.array([[0.5, 1.0], [0.0, 0.0], [1.0, 2.0]]))
+        assert inside.all()
+        outside = box.contains(np.array([[1.5, 1.0], [0.5, -0.1]]))
+        assert not outside.any()
+
+    def test_sample_inside(self):
+        box = HyperRectangle([1.0, 2.0], [2.0, 4.0])
+        pts = box.sample(500, random_state=0)
+        assert box.contains(pts).all()
+
+    def test_sample_fills_box(self):
+        box = HyperRectangle([0.0], [1.0])
+        pts = box.sample(2000, random_state=0)
+        assert pts.min() < 0.05 and pts.max() > 0.95
+
+    def test_center_and_volume(self):
+        box = HyperRectangle([0.0, 0.0], [2.0, 4.0])
+        np.testing.assert_array_equal(box.center, [1.0, 2.0])
+        assert box.volume == 8.0
+
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(ParameterError):
+            HyperRectangle([1.0], [0.5])
+
+
+class TestEllipsoid:
+    def test_contains(self):
+        ell = Ellipsoid([0.0, 0.0], [2.0, 1.0])
+        assert ell.contains(np.array([[1.9, 0.0]]))[0]
+        assert not ell.contains(np.array([[0.0, 1.1]]))[0]
+
+    def test_sample_inside(self):
+        ell = Ellipsoid([1.0, 1.0], [0.5, 0.25])
+        pts = ell.sample(500, random_state=0)
+        assert ell.contains(pts).all()
+
+    def test_volume(self):
+        ell = Ellipsoid([0.0, 0.0], [2.0, 1.0])
+        assert ell.volume == pytest.approx(2.0 * np.pi)
+
+    def test_sample_is_roughly_uniform(self):
+        """Mean radius^d of uniform ball samples is d/(d+2)... check the
+        first moment instead: E[r^2] for a uniform disk = 1/2."""
+        ball = Ball([0.0, 0.0], 1.0)
+        pts = ball.sample(20_000, random_state=0)
+        r_sq = (pts**2).sum(axis=1)
+        assert r_sq.mean() == pytest.approx(0.5, abs=0.02)
+
+    def test_rejects_bad_radii(self):
+        with pytest.raises(ParameterError):
+            Ellipsoid([0.0], [0.0])
+
+
+class TestBall:
+    def test_is_round(self):
+        ball = Ball([0.0, 0.0], 2.0)
+        assert ball.contains(np.array([[1.99, 0.0], [0.0, 1.99]])).all()
+        assert not ball.contains(np.array([[1.5, 1.5]]))[0]
+
+    def test_volume_matches_formula(self):
+        ball = Ball([0.0, 0.0, 0.0], 1.0)
+        assert ball.volume == pytest.approx(4.0 / 3.0 * np.pi)
+
+    def test_rejects_bad_radius(self):
+        with pytest.raises(ParameterError):
+            Ball([0.0], 0.0)

@@ -1,0 +1,67 @@
+"""Tests for repro.utils.streams (dataset-pass discipline)."""
+
+import numpy as np
+import pytest
+
+from repro.utils.streams import DataStream, PassCounter, as_stream
+
+
+class TestDataStream:
+    def test_chunks_cover_data_in_order(self):
+        data = np.arange(20, dtype=float).reshape(10, 2)
+        stream = DataStream(data, chunk_size=3)
+        rebuilt = np.vstack(list(stream))
+        np.testing.assert_array_equal(rebuilt, data)
+
+    def test_last_chunk_may_be_short(self):
+        stream = DataStream(np.zeros((10, 1)), chunk_size=4)
+        sizes = [chunk.shape[0] for chunk in stream]
+        assert sizes == [4, 4, 2]
+
+    def test_pass_counting(self):
+        stream = DataStream(np.zeros((5, 1)))
+        assert stream.passes == 0
+        list(stream)
+        list(stream)
+        assert stream.passes == 2
+
+    def test_iter_with_offsets(self):
+        data = np.arange(10, dtype=float).reshape(5, 2)
+        stream = DataStream(data, chunk_size=2)
+        offsets = [off for off, _ in stream.iter_with_offsets()]
+        assert offsets == [0, 2, 4]
+        assert stream.passes == 1
+
+    def test_materialize_counts_as_pass(self):
+        stream = DataStream(np.zeros((5, 1)))
+        stream.materialize()
+        assert stream.passes == 1
+
+    def test_len_and_dims(self):
+        stream = DataStream(np.zeros((7, 3)))
+        assert len(stream) == 7
+        assert stream.n_dims == 3
+
+    def test_rejects_bad_chunk_size(self):
+        with pytest.raises(ValueError, match="chunk_size"):
+            DataStream(np.zeros((3, 1)), chunk_size=0)
+
+
+class TestPassCounter:
+    def test_counts_passes_in_block(self):
+        stream = DataStream(np.zeros((4, 1)))
+        list(stream)  # pass outside the counter
+        with PassCounter(stream) as counter:
+            list(stream)
+            list(stream)
+        assert counter.passes == 2
+
+
+class TestAsStream:
+    def test_wraps_arrays(self):
+        stream = as_stream([[1.0], [2.0]])
+        assert isinstance(stream, DataStream)
+
+    def test_passthrough_for_streams(self):
+        stream = DataStream(np.zeros((3, 1)))
+        assert as_stream(stream) is stream

@@ -1,0 +1,89 @@
+"""Tests for the sampling-based approximate K-median."""
+
+import numpy as np
+import pytest
+
+from repro.clustering import KMedoids, SublinearKMedian
+from repro.exceptions import ParameterError
+
+
+@pytest.fixture
+def blobs():
+    rng = np.random.default_rng(1)
+    return np.vstack(
+        [rng.normal(c, 0.1, (600, 2)) for c in ((0, 0), (4, 0), (0, 4))]
+    )
+
+
+class TestSublinearKMedian:
+    def test_recovers_blobs(self, blobs):
+        result = SublinearKMedian(n_clusters=3, random_state=0).fit(blobs)
+        assert sorted(result.sizes.tolist()) == [600, 600, 600]
+
+    def test_sample_is_sublinear(self, blobs):
+        model = SublinearKMedian(n_clusters=3, random_state=0)
+        model.fit(blobs)
+        assert model.sample_size_ < blobs.shape[0] / 2
+        # sqrt(n k) scaling with the default factor 4.
+        expected = int(np.ceil(4 * np.sqrt(1800 * 3)))
+        assert model.sample_size_ == expected
+
+    def test_cost_near_full_pam(self, blobs):
+        """The approximation should land within a modest factor of the
+        full PAM cost."""
+        approx = SublinearKMedian(n_clusters=3, refine=True, random_state=0)
+        approx.fit(blobs)
+        exact = KMedoids(n_clusters=3)
+        exact.fit(blobs)
+        assert approx.cost_ <= 1.25 * exact.cost_
+
+    def test_refinement_does_not_hurt_much(self, blobs):
+        plain = SublinearKMedian(
+            n_clusters=3, refine=False, random_state=0
+        )
+        plain.fit(blobs)
+        refined = SublinearKMedian(
+            n_clusters=3, refine=True, random_state=0
+        )
+        refined.fit(blobs)
+        assert refined.cost_ <= plain.cost_ * 1.1
+
+    def test_medians_are_data_points(self, blobs):
+        result = SublinearKMedian(n_clusters=3, random_state=0).fit(blobs)
+        rows = {tuple(r) for r in blobs}
+        assert all(tuple(c) in rows for c in result.centers)
+
+    def test_deterministic(self, blobs):
+        a = SublinearKMedian(n_clusters=3, random_state=7).fit(blobs)
+        b = SublinearKMedian(n_clusters=3, random_state=7).fit(blobs)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_exponent_controls_sample(self, blobs):
+        small = SublinearKMedian(
+            n_clusters=3, sample_exponent=0.4, random_state=0
+        )
+        small.fit(blobs)
+        large = SublinearKMedian(
+            n_clusters=3, sample_exponent=0.7, random_state=0
+        )
+        large.fit(blobs)
+        assert small.sample_size_ < large.sample_size_
+
+    def test_rejects_weights(self, blobs):
+        with pytest.raises(ParameterError, match="sample_weight"):
+            SublinearKMedian(n_clusters=2).fit(
+                blobs, sample_weight=np.ones(1800)
+            )
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ParameterError):
+            SublinearKMedian(n_clusters=0)
+        with pytest.raises(ParameterError):
+            SublinearKMedian(sample_exponent=0.0)
+        with pytest.raises(ParameterError):
+            SublinearKMedian(sample_factor=0.0)
+
+    def test_tiny_dataset(self):
+        pts = np.random.default_rng(0).random((5, 2))
+        result = SublinearKMedian(n_clusters=2, random_state=0).fit(pts)
+        assert result.n_clusters == 2

@@ -1,0 +1,97 @@
+"""Tests for the transaction container and Quest-style generator."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.mining import TransactionDataset, make_transaction_dataset
+
+
+class TestTransactionDataset:
+    @pytest.fixture
+    def tiny(self):
+        matrix = np.array(
+            [
+                [1, 1, 0, 0],
+                [1, 1, 1, 0],
+                [0, 1, 0, 1],
+                [1, 0, 0, 0],
+            ],
+            dtype=bool,
+        )
+        return TransactionDataset(matrix=matrix, patterns=[])
+
+    def test_dimensions(self, tiny):
+        assert tiny.n_transactions == 4
+        assert tiny.n_items == 4
+
+    def test_transaction_items(self, tiny):
+        assert tiny.transaction(0) == (0, 1)
+        assert tiny.transaction(3) == (0,)
+
+    def test_lengths(self, tiny):
+        assert tiny.lengths().tolist() == [2, 3, 2, 1]
+
+    def test_support(self, tiny):
+        assert tiny.support({0}) == 0.75
+        assert tiny.support({0, 1}) == 0.5
+        assert tiny.support({0, 3}) == 0.0
+        assert tiny.support(set()) == 1.0
+
+    def test_subset(self, tiny):
+        sub = tiny.subset([0, 2])
+        assert sub.n_transactions == 2
+        assert sub.support({1}) == 1.0
+
+
+class TestGenerator:
+    def test_shapes(self):
+        data = make_transaction_dataset(
+            n_transactions=500, n_items=50, random_state=0
+        )
+        assert data.matrix.shape == (500, 50)
+        assert data.matrix.dtype == bool
+
+    def test_patterns_recorded(self):
+        data = make_transaction_dataset(
+            n_transactions=100, n_patterns=7, random_state=0
+        )
+        assert len(data.patterns) == 7
+        assert all(len(p) >= 1 for p in data.patterns)
+
+    def test_planted_patterns_are_frequent(self):
+        """The most popular pattern must have clearly super-random
+        support."""
+        data = make_transaction_dataset(
+            n_transactions=3000,
+            n_items=100,
+            n_patterns=5,
+            corruption=0.0,
+            random_state=1,
+        )
+        top = data.patterns[0]
+        assert data.support(top) > 0.15
+
+    def test_corruption_lowers_support(self):
+        clean = make_transaction_dataset(
+            n_transactions=2000, corruption=0.0, random_state=2
+        )
+        noisy = make_transaction_dataset(
+            n_transactions=2000, corruption=0.6, random_state=2
+        )
+        # Compare the same pattern (same seed => same patterns).
+        pattern = clean.patterns[0]
+        assert noisy.support(pattern) < clean.support(pattern)
+
+    def test_deterministic(self):
+        a = make_transaction_dataset(n_transactions=200, random_state=5)
+        b = make_transaction_dataset(n_transactions=200, random_state=5)
+        np.testing.assert_array_equal(a.matrix, b.matrix)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ParameterError):
+            make_transaction_dataset(n_transactions=0)
+        with pytest.raises(ParameterError):
+            make_transaction_dataset(n_patterns=0)
+        with pytest.raises(ParameterError):
+            make_transaction_dataset(corruption=1.0)

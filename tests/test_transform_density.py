@@ -1,0 +1,125 @@
+"""Tests for the wavelet- and DCT-compressed histogram estimators."""
+
+import numpy as np
+import pytest
+
+from repro.density import DctDensityEstimator, WaveletDensityEstimator
+from repro.density.wavelet import haar_forward, haar_inverse
+from repro.exceptions import NotFittedError, ParameterError
+
+
+class TestHaarTransform:
+    def test_roundtrip_1d(self):
+        rng = np.random.default_rng(0)
+        values = rng.normal(size=16)
+        np.testing.assert_allclose(
+            haar_inverse(haar_forward(values)), values, atol=1e-10
+        )
+
+    def test_roundtrip_2d(self):
+        rng = np.random.default_rng(1)
+        values = rng.normal(size=(8, 16))
+        np.testing.assert_allclose(
+            haar_inverse(haar_forward(values)), values, atol=1e-10
+        )
+
+    def test_roundtrip_3d(self):
+        rng = np.random.default_rng(2)
+        values = rng.normal(size=(4, 4, 8))
+        np.testing.assert_allclose(
+            haar_inverse(haar_forward(values)), values, atol=1e-10
+        )
+
+    def test_orthonormal(self):
+        """Energy (L2 norm) is preserved by the transform."""
+        rng = np.random.default_rng(3)
+        values = rng.normal(size=(16, 16))
+        coeffs = haar_forward(values)
+        assert np.linalg.norm(coeffs) == pytest.approx(
+            np.linalg.norm(values)
+        )
+
+    def test_constant_signal_compresses_to_one_coefficient(self):
+        coeffs = haar_forward(np.ones(32))
+        assert (np.abs(coeffs) > 1e-12).sum() == 1
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ParameterError, match="power-of-two"):
+            haar_forward(np.ones(12))
+
+
+@pytest.mark.parametrize(
+    "estimator_cls", [WaveletDensityEstimator, DctDensityEstimator]
+)
+class TestTransformEstimators:
+    def test_dense_beats_sparse(self, estimator_cls):
+        rng = np.random.default_rng(0)
+        dense = rng.normal((0.25, 0.25), 0.03, size=(5000, 2))
+        sparse = rng.uniform(0.5, 1.0, size=(500, 2))
+        est = estimator_cls(bins_per_dim=16, n_coefficients=200).fit(
+            np.vstack([dense, sparse])
+        )
+        assert est.evaluate([[0.25, 0.25]])[0] > est.evaluate([[0.75, 0.75]])[0]
+
+    def test_full_coefficients_match_histogram(self, estimator_cls):
+        """With every coefficient kept, the reconstruction equals the
+        raw histogram — compare against GridDensityEstimator."""
+        from repro.density import GridDensityEstimator
+
+        rng = np.random.default_rng(1)
+        data = rng.random((2000, 2))
+        est = estimator_cls(bins_per_dim=8, n_coefficients=64).fit(data)
+        grid = GridDensityEstimator(bins_per_dim=8).fit(data)
+        queries = rng.random((50, 2))
+        np.testing.assert_allclose(
+            est.evaluate(queries), grid.evaluate(queries), rtol=1e-6
+        )
+
+    def test_truncation_reduces_stored_coefficients(self, estimator_cls):
+        rng = np.random.default_rng(2)
+        data = rng.random((3000, 2))
+        est = estimator_cls(bins_per_dim=16, n_coefficients=20).fit(data)
+        assert est.n_kept_ <= 20
+
+    def test_non_negative_output(self, estimator_cls):
+        rng = np.random.default_rng(3)
+        data = rng.normal(0.5, 0.1, size=(2000, 2))
+        est = estimator_cls(bins_per_dim=16, n_coefficients=30).fit(data)
+        queries = rng.random((200, 2))
+        assert (est.evaluate(queries) >= 0).all()
+
+    def test_unfitted_raises(self, estimator_cls):
+        with pytest.raises(NotFittedError):
+            estimator_cls().evaluate([[0.5, 0.5]])
+
+    def test_works_as_sampler_backend(self, estimator_cls):
+        from repro.core import DensityBiasedSampler
+
+        rng = np.random.default_rng(4)
+        dense = rng.normal((0.2, 0.2), 0.02, size=(4000, 2))
+        sparse = rng.uniform(0.5, 1.0, size=(4000, 2))
+        data = np.vstack([dense, sparse])
+        sample = DensityBiasedSampler(
+            sample_size=400,
+            exponent=1.0,
+            estimator=estimator_cls(bins_per_dim=16, n_coefficients=150),
+            random_state=0,
+        ).sample(data)
+        assert (sample.indices < 4000).mean() > 0.7
+
+    def test_rejects_bad_params(self, estimator_cls):
+        with pytest.raises(ParameterError):
+            estimator_cls(bins_per_dim=1)
+        with pytest.raises(ParameterError):
+            estimator_cls(n_coefficients=0)
+
+
+class TestWaveletSpecific:
+    def test_rejects_non_power_of_two_bins(self):
+        with pytest.raises(ParameterError, match="power of two"):
+            WaveletDensityEstimator(bins_per_dim=12)
+
+    def test_grid_size_guard(self):
+        est = WaveletDensityEstimator(bins_per_dim=256)
+        with pytest.raises(ParameterError, match="too large"):
+            est.fit(np.random.default_rng(0).random((10, 4)))
