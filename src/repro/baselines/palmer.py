@@ -28,6 +28,8 @@ from repro.utils.scaling import MinMaxScaler
 from repro.utils.streams import DataStream, as_stream
 from repro.utils.validation import check_positive, check_random_state
 
+__all__ = ["GridBiasedSampler"]
+
 _BYTES_PER_COUNTER = 8  # one int64 counter per bucket
 
 

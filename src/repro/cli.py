@@ -18,6 +18,11 @@ import sys
 from repro.exceptions import ReproError
 from repro.experiments import EXPERIMENTS, run_experiment
 
+__all__ = [
+    "build_parser",
+    "main",
+]
+
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(

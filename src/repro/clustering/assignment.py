@@ -16,6 +16,8 @@ from repro.clustering.base import ClusteringResult
 from repro.exceptions import ParameterError
 from repro.utils.streams import DataStream, as_stream
 
+__all__ = ["assign_to_clusters"]
+
 
 def assign_to_clusters(
     data,
@@ -36,6 +38,9 @@ def assign_to_clusters(
     policy:
         ``"representatives"`` — nearest representative point decides
         (CURE's rule); ``"centers"`` — nearest cluster center decides.
+    stream:
+        Pre-built :class:`DataStream` over the dataset; overrides
+        ``data`` when given.
 
     Returns
     -------

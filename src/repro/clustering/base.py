@@ -7,6 +7,11 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+__all__ = [
+    "ClusteringResult",
+    "Clusterer",
+]
+
 
 @dataclass
 class ClusteringResult:

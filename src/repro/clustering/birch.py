@@ -31,6 +31,13 @@ from repro.exceptions import ParameterError
 from repro.utils.geometry import sq_distances_to
 from repro.utils.validation import check_array
 
+__all__ = [
+    "CFEntry",
+    "CFNode",
+    "CFTree",
+    "Birch",
+]
+
 
 class CFEntry:
     """A clustering feature: ``(n, LS, SS)`` plus an optional child node."""

@@ -21,6 +21,8 @@ from repro.exceptions import ParameterError
 from repro.utils.geometry import pairwise_sq_distances
 from repro.utils.validation import check_array, check_random_state
 
+__all__ = ["Clarans"]
+
 
 class Clarans(Clusterer):
     """Clustering Large Applications based on RANdomized Search.

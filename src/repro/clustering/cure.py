@@ -35,6 +35,11 @@ from repro.utils.geometry import sq_distances_to
 from repro.utils.heaps import IndexedMinHeap
 from repro.utils.validation import check_array, check_fraction
 
+__all__ = [
+    "select_scattered_points",
+    "CureClustering",
+]
+
 
 @dataclass
 class _Cluster:
@@ -85,6 +90,9 @@ class CureClustering(Clusterer):
         ``outlier_min_size`` points are dropped as noise.
     outlier_check_fraction, outlier_min_size:
         Elimination tuning (CURE defaults: one third, < 3 points).
+    random_state:
+        Reserved for API uniformity; the algorithm itself is
+        deterministic.
 
     Examples
     --------

@@ -17,6 +17,8 @@ from repro.exceptions import ParameterError
 from repro.utils.geometry import pairwise_sq_distances
 from repro.utils.validation import check_array
 
+__all__ = ["AgglomerativeClustering"]
+
 _LINKAGES = ("single", "complete", "average", "centroid")
 
 

@@ -17,6 +17,8 @@ from repro.exceptions import ConvergenceWarning, ParameterError
 from repro.utils.geometry import sq_distances_to
 from repro.utils.validation import check_array, check_random_state
 
+__all__ = ["KMeans"]
+
 
 class KMeans(Clusterer):
     """Lloyd's algorithm with weighted updates.

@@ -17,6 +17,8 @@ from repro.exceptions import ParameterError
 from repro.utils.geometry import pairwise_sq_distances
 from repro.utils.validation import check_array
 
+__all__ = ["KMedoids"]
+
 
 class KMedoids(Clusterer):
     """Partitioning Around Medoids on Euclidean distances.

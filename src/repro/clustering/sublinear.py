@@ -25,6 +25,8 @@ from repro.exceptions import ParameterError
 from repro.utils.geometry import sq_distances_to
 from repro.utils.validation import check_array, check_random_state
 
+__all__ = ["SublinearKMedian"]
+
 
 class SublinearKMedian(Clusterer):
     """Sample-based approximate K-median.

@@ -26,12 +26,22 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 import numpy as np
+from numpy.typing import ArrayLike
 
 from repro.density.base import DensityEstimator
 from repro.density.kde import KernelDensityEstimator
 from repro.exceptions import ParameterError
 from repro.utils.streams import DataStream, as_stream
-from repro.utils.validation import check_positive, check_random_state
+from repro.utils.validation import (
+    RandomStateLike,
+    check_positive,
+    check_random_state,
+)
+
+__all__ = [
+    "BiasedSample",
+    "DensityBiasedSampler",
+]
 
 
 @dataclass(frozen=True)
@@ -142,7 +152,7 @@ class DensityBiasedSampler:
         estimator: DensityEstimator | None = None,
         density_floor_fraction: float = 0.05,
         exact_size: bool = False,
-        random_state=None,
+        random_state: RandomStateLike = None,
     ) -> None:
         if sample_size < 1:
             raise ParameterError(f"sample_size must be >= 1; got {sample_size}.")
@@ -161,7 +171,9 @@ class DensityBiasedSampler:
 
     # -- pipeline ----------------------------------------------------------------
 
-    def sample(self, data, *, stream: DataStream | None = None) -> BiasedSample:
+    def sample(
+        self, data: ArrayLike | None = None, *, stream: DataStream | None = None
+    ) -> BiasedSample:
         """Draw a density-biased sample from ``data``.
 
         Performs (at most) three sequential dataset passes: estimator

@@ -15,8 +15,19 @@ ask for a configured sampler instead of memorising the table.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.exceptions import ParameterError
+from repro.utils.validation import RandomStateLike
+
+if TYPE_CHECKING:  # avoid the circular import at runtime
+    from repro.core.biased import DensityBiasedSampler
+
+__all__ = [
+    "TASKS",
+    "SamplerRecommendation",
+    "recommend_settings",
+]
 
 TASKS = ("dense-clusters", "small-clusters", "outliers", "coverage")
 
@@ -45,7 +56,9 @@ class SamplerRecommendation:
     density_floor_fraction: float
     rationale: str
 
-    def make_sampler(self, n_points: int, random_state=None):
+    def make_sampler(
+        self, n_points: int, random_state: RandomStateLike = None
+    ) -> DensityBiasedSampler:
         """Instantiate a :class:`~repro.core.DensityBiasedSampler`."""
         from repro.core.biased import DensityBiasedSampler
         from repro.density.kde import KernelDensityEstimator

@@ -16,13 +16,16 @@ benchmark quantifies the trade-off against the exact two-pass scheme.
 from __future__ import annotations
 
 import numpy as np
+from numpy.typing import ArrayLike
 
 from repro.core.biased import BiasedSample, DensityBiasedSampler
 from repro.density.base import DensityEstimator
 from repro.density.reservoir import reservoir_sample
 from repro.exceptions import ParameterError
 from repro.utils.streams import DataStream, as_stream
-from repro.utils.validation import check_random_state
+from repro.utils.validation import RandomStateLike, check_random_state
+
+__all__ = ["OnePassBiasedSampler"]
 
 
 class OnePassBiasedSampler(DensityBiasedSampler):
@@ -44,7 +47,7 @@ class OnePassBiasedSampler(DensityBiasedSampler):
         estimator: DensityEstimator | None = None,
         density_floor_fraction: float = 0.05,
         pilot_size: int = 1000,
-        random_state=None,
+        random_state: RandomStateLike = None,
     ) -> None:
         super().__init__(
             sample_size=sample_size,
@@ -58,7 +61,9 @@ class OnePassBiasedSampler(DensityBiasedSampler):
             raise ParameterError(f"pilot_size must be >= 1; got {pilot_size}.")
         self.pilot_size = int(pilot_size)
 
-    def sample(self, data, *, stream: DataStream | None = None) -> BiasedSample:
+    def sample(
+        self, data: ArrayLike | None = None, *, stream: DataStream | None = None
+    ) -> BiasedSample:
         """Draw the sample with one scan after the estimator fit."""
         source = stream if stream is not None else as_stream(data)
         rng = check_random_state(self.random_state)

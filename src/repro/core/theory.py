@@ -22,6 +22,15 @@ from scipy import stats
 
 from repro.exceptions import ParameterError
 
+__all__ = [
+    "uniform_sample_size",
+    "required_inclusion_probability",
+    "biased_sample_size",
+    "rule_r_probabilities",
+    "cluster_inclusion_probability",
+    "theorem1_holds",
+]
+
 
 def _check_common(n: int, cluster_size: int, eta: float, delta: float) -> None:
     if n < 1:

@@ -9,11 +9,14 @@ provided for callers that need a hard budget.
 from __future__ import annotations
 
 import numpy as np
+from numpy.typing import ArrayLike
 
 from repro.core.biased import BiasedSample
 from repro.exceptions import ParameterError
 from repro.utils.streams import DataStream, as_stream
-from repro.utils.validation import check_random_state
+from repro.utils.validation import RandomStateLike, check_random_state
+
+__all__ = ["UniformSampler"]
 
 
 class UniformSampler:
@@ -31,7 +34,10 @@ class UniformSampler:
     """
 
     def __init__(
-        self, sample_size: int = 1000, exact_size: bool = False, random_state=None
+        self,
+        sample_size: int = 1000,
+        exact_size: bool = False,
+        random_state: RandomStateLike = None,
     ) -> None:
         if sample_size < 1:
             raise ParameterError(f"sample_size must be >= 1; got {sample_size}.")
@@ -39,7 +45,9 @@ class UniformSampler:
         self.exact_size = bool(exact_size)
         self.random_state = random_state
 
-    def sample(self, data, *, stream: DataStream | None = None) -> BiasedSample:
+    def sample(
+        self, data: ArrayLike | None = None, *, stream: DataStream | None = None
+    ) -> BiasedSample:
         """Draw a uniform sample; returns the same result type as the
         biased sampler so downstream code is sampler-agnostic."""
         source = stream if stream is not None else as_stream(data)

@@ -10,11 +10,17 @@ effective-sample-size diagnostic for the resulting weight distribution.
 from __future__ import annotations
 
 import numpy as np
+from numpy.typing import ArrayLike
 
 from repro.exceptions import ParameterError
 
+__all__ = [
+    "inverse_probability_weights",
+    "effective_sample_size",
+]
 
-def inverse_probability_weights(probabilities) -> np.ndarray:
+
+def inverse_probability_weights(probabilities: ArrayLike) -> np.ndarray:
     """Horvitz-Thompson weights ``w_i = 1 / P(i sampled)``.
 
     >>> inverse_probability_weights([0.5, 0.25]).tolist()
@@ -28,7 +34,7 @@ def inverse_probability_weights(probabilities) -> np.ndarray:
     return 1.0 / probs
 
 
-def effective_sample_size(weights) -> float:
+def effective_sample_size(weights: ArrayLike) -> float:
     """Kish effective sample size ``(sum w)^2 / sum w^2``.
 
     Equals the sample size for uniform weights and shrinks as the weight
@@ -46,3 +52,5 @@ def effective_sample_size(weights) -> float:
     if sq_total == 0:
         return 0.0
     return float(total_sq / sq_total)
+
+

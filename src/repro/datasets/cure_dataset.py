@@ -21,6 +21,8 @@ from repro.datasets.synthetic import NOISE_LABEL, SyntheticDataset
 from repro.exceptions import ParameterError
 from repro.utils.validation import check_random_state
 
+__all__ = ["cure_dataset1"]
+
 
 def cure_dataset1(
     n_points: int = 100_000,
@@ -40,6 +42,8 @@ def cure_dataset1(
     chain_fraction:
         Points forming the sparse chain between the two ellipses
         (labelled as noise: they belong to no cluster).
+    random_state:
+        Seed or generator for the draws.
 
     Examples
     --------

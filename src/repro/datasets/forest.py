@@ -18,6 +18,8 @@ from repro.datasets.synthetic import NOISE_LABEL, SyntheticDataset
 from repro.exceptions import ParameterError
 from repro.utils.validation import check_random_state
 
+__all__ = ["forest_cover_dataset"]
+
 
 def forest_cover_dataset(
     n_points: int = 59_000,
@@ -38,6 +40,8 @@ def forest_cover_dataset(
         Number of classes (the real data has 7 cover types).
     background_fraction:
         Diffuse non-cluster points.
+    random_state:
+        Seed or generator for the draws.
 
     >>> data = forest_cover_dataset(n_points=2000, random_state=0)
     >>> data.n_clusters

@@ -23,6 +23,11 @@ from repro.datasets.shapes import ClusterShape, Ellipsoid
 from repro.datasets.synthetic import NOISE_LABEL, SyntheticDataset
 from repro.utils.validation import check_random_state
 
+__all__ = [
+    "northeast_dataset",
+    "california_dataset",
+]
+
 # Metro layout: (center_x, center_y, sigma_x, sigma_y, share of points).
 _NORTHEAST_METROS = (
     ("New York", 0.42, 0.38, 0.022, 0.018, 0.26),

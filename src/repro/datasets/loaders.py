@@ -15,6 +15,11 @@ import numpy as np
 from repro.datasets.synthetic import SyntheticDataset
 from repro.exceptions import DataValidationError
 
+__all__ = [
+    "save_dataset",
+    "load_dataset",
+]
+
 
 def save_dataset(dataset: SyntheticDataset, path: str) -> None:
     """Write points/labels/noise fraction to an ``.npz`` file.

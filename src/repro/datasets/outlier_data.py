@@ -17,6 +17,11 @@ from repro.datasets.synthetic import SyntheticDataset, make_clustered_dataset
 from repro.exceptions import ParameterError
 from repro.utils.validation import check_random_state
 
+__all__ = [
+    "OutlierDataset",
+    "make_outlier_dataset",
+]
+
 
 @dataclass
 class OutlierDataset:

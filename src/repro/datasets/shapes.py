@@ -16,6 +16,13 @@ from repro.exceptions import ParameterError
 from repro.utils.geometry import ball_volume
 from repro.utils.validation import check_random_state
 
+__all__ = [
+    "ClusterShape",
+    "HyperRectangle",
+    "Ellipsoid",
+    "Ball",
+]
+
 
 class ClusterShape(abc.ABC):
     """A region of space that generated one true cluster."""

@@ -17,6 +17,17 @@ from repro.datasets.shapes import ClusterShape, HyperRectangle
 from repro.exceptions import ParameterError
 from repro.utils.validation import check_fraction, check_random_state
 
+__all__ = [
+    "NOISE_LABEL",
+    "SyntheticDataset",
+    "make_clustered_dataset",
+    "add_noise",
+    "make_fig4_dataset",
+    "make_fig5_dataset",
+    "ds1_dataset",
+    "ds2_dataset",
+]
+
 NOISE_LABEL = -1
 
 

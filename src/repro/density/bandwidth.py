@@ -14,6 +14,12 @@ import numpy as np
 from repro.density.kernels import Kernel, get_kernel
 from repro.exceptions import ParameterError
 
+__all__ = [
+    "scott_bandwidth",
+    "silverman_bandwidth",
+    "resolve_bandwidth",
+]
+
 
 def _validate(std: np.ndarray, n_points: int) -> np.ndarray:
     std = np.asarray(std, dtype=np.float64)

@@ -16,6 +16,8 @@ import numpy as np
 from repro.exceptions import NotFittedError
 from repro.utils.streams import DataStream, as_stream
 
+__all__ = ["DensityEstimator"]
+
 
 class DensityEstimator(abc.ABC):
     """Base class: fit on one dataset pass, then evaluate anywhere.

@@ -18,6 +18,8 @@ from repro.exceptions import ParameterError
 from repro.utils.scaling import MinMaxScaler
 from repro.utils.streams import DataStream
 
+__all__ = ["DctDensityEstimator"]
+
 
 class DctDensityEstimator(DensityEstimator):
     """Top-m DCT coefficients of an equi-width histogram.

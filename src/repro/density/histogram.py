@@ -17,6 +17,8 @@ from repro.exceptions import ParameterError
 from repro.utils.scaling import MinMaxScaler
 from repro.utils.streams import DataStream
 
+__all__ = ["GridDensityEstimator"]
+
 
 class GridDensityEstimator(DensityEstimator):
     """Equi-width grid histogram over the data bounding box.
@@ -26,6 +28,9 @@ class GridDensityEstimator(DensityEstimator):
     bins_per_dim:
         Number of cells along each attribute. Total cells are
         ``bins_per_dim ** d`` but only occupied cells are stored.
+    bounds:
+        Optional ``(mins, maxs)`` bounding box; when given, fitting
+        skips the box-finding pass (see Notes).
 
     Notes
     -----

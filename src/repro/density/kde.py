@@ -25,6 +25,8 @@ from repro.exceptions import ParameterError
 from repro.utils.streams import DataStream
 from repro.utils.validation import check_random_state
 
+__all__ = ["KernelDensityEstimator"]
+
 
 class _StreamingMoments:
     """Chunk-merged Welford accumulator for per-attribute mean/variance."""

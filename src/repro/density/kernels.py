@@ -19,6 +19,16 @@ import numpy as np
 
 from repro.exceptions import ParameterError
 
+__all__ = [
+    "Kernel",
+    "EpanechnikovKernel",
+    "GaussianKernel",
+    "UniformKernel",
+    "TriangularKernel",
+    "BiweightKernel",
+    "get_kernel",
+]
+
 
 class Kernel(abc.ABC):
     """A symmetric 1-D kernel profile integrating to one.

@@ -20,6 +20,8 @@ from repro.utils.geometry import ball_volume
 from repro.utils.streams import DataStream
 from repro.utils.validation import check_random_state
 
+__all__ = ["KnnDensityEstimator"]
+
 
 class KnnDensityEstimator(DensityEstimator):
     """Density from the distance to the k-th nearest sampled point.
@@ -31,6 +33,8 @@ class KnnDensityEstimator(DensityEstimator):
     k:
         Which neighbour's distance sets the local scale. Must satisfy
         ``k <= n_sample``.
+    random_state:
+        Seed or generator for the reservoir draws.
     """
 
     def __init__(self, n_sample: int = 1000, k: int = 10, random_state=None):

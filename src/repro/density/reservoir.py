@@ -12,6 +12,11 @@ import numpy as np
 from repro.utils.streams import DataStream, as_stream
 from repro.utils.validation import check_random_state
 
+__all__ = [
+    "ReservoirSampler",
+    "reservoir_sample",
+]
+
 
 class ReservoirSampler:
     """Maintains a uniform sample of fixed capacity over a stream.

@@ -18,6 +18,12 @@ from repro.exceptions import ParameterError
 from repro.utils.scaling import MinMaxScaler
 from repro.utils.streams import DataStream
 
+__all__ = [
+    "haar_forward",
+    "haar_inverse",
+    "WaveletDensityEstimator",
+]
+
 
 def haar_forward(values: np.ndarray) -> np.ndarray:
     """Full d-dimensional Haar transform (orthonormal, sizes = 2^m)."""

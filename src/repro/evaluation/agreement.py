@@ -15,6 +15,13 @@ import numpy as np
 
 from repro.exceptions import ParameterError
 
+__all__ = [
+    "contingency_table",
+    "adjusted_rand_index",
+    "normalized_mutual_information",
+    "purity",
+]
+
 
 def _paired_labels(truth, predicted) -> tuple[np.ndarray, np.ndarray]:
     a = np.asarray(truth, dtype=np.int64)

@@ -16,6 +16,12 @@ from repro.datasets.shapes import ClusterShape
 from repro.exceptions import ParameterError
 from repro.utils.validation import check_fraction
 
+__all__ = [
+    "found_clusters",
+    "count_found_clusters",
+    "birch_found_clusters",
+]
+
 
 def found_clusters(
     result: ClusteringResult,

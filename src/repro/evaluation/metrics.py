@@ -10,6 +10,13 @@ from repro.datasets.shapes import ClusterShape
 from repro.datasets.synthetic import NOISE_LABEL, SyntheticDataset
 from repro.exceptions import ParameterError
 
+__all__ = [
+    "outlier_precision_recall",
+    "density_order_preservation",
+    "noise_fraction_in_sample",
+    "sample_share_per_cluster",
+]
+
 
 def outlier_precision_recall(
     predicted, truth

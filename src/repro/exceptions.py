@@ -8,6 +8,14 @@ propagate unchanged.
 
 from __future__ import annotations
 
+__all__ = [
+    "ReproError",
+    "NotFittedError",
+    "DataValidationError",
+    "ParameterError",
+    "ConvergenceWarning",
+]
+
 
 class ReproError(Exception):
     """Base class for all errors raised by the repro library."""

@@ -19,6 +19,17 @@ from repro.datasets.synthetic import SyntheticDataset
 from repro.density import KernelDensityEstimator
 from repro.evaluation import birch_found_clusters, count_found_clusters
 
+__all__ = [
+    "scaled",
+    "biased_sample",
+    "EXTRA_CLUSTERS",
+    "cure_found",
+    "run_biased",
+    "run_uniform",
+    "run_birch",
+    "run_grid",
+]
+
 
 def scaled(value: int, scale: float, minimum: int = 1) -> int:
     """Scale a paper-sized quantity, keeping it usable at small scales."""

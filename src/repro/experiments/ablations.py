@@ -27,6 +27,12 @@ from repro.experiments._common import cure_found, scaled
 from repro.experiments.registry import experiment
 from repro.experiments.reporting import ExperimentResult
 
+__all__ = [
+    "run_estimators",
+    "run_onepass",
+    "run_kernels",
+]
+
 
 @experiment(
     "ablation-estimator",

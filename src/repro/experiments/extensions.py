@@ -26,6 +26,11 @@ from repro.mining import (
     sampled_apriori,
 )
 
+__all__ = [
+    "run_rules",
+    "run_tree",
+]
+
 
 @experiment(
     "ext-rules",

@@ -23,6 +23,8 @@ from repro.experiments._common import scaled
 from repro.experiments.registry import experiment
 from repro.experiments.reporting import ExperimentResult
 
+__all__ = ["run"]
+
 _PAPER_N = 1_000_000
 _PAPER_SWEEP = (1000, 3000, 5000, 7000, 9000, 11000)
 

@@ -18,6 +18,8 @@ from repro.experiments._common import scaled
 from repro.experiments.registry import experiment
 from repro.experiments.reporting import ExperimentResult
 
+__all__ = ["run"]
+
 _PAPER_N = 100_000
 _SAMPLE = 1000
 

@@ -19,6 +19,11 @@ from repro.experiments._common import (
 from repro.experiments.registry import experiment
 from repro.experiments.reporting import ExperimentResult
 
+__all__ = [
+    "NOISE_LEVELS",
+    "run",
+]
+
 _PAPER_N = 100_000
 NOISE_LEVELS = (0.05, 0.1, 0.2, 0.4, 0.6, 0.8)
 _PANELS = (

@@ -21,6 +21,11 @@ from repro.experiments._common import (
 from repro.experiments.registry import experiment
 from repro.experiments.reporting import ExperimentResult
 
+__all__ = [
+    "SAMPLE_FRACTIONS",
+    "run",
+]
+
 _PAPER_N = 100_000
 SAMPLE_FRACTIONS = (0.005, 0.01, 0.02, 0.03, 0.05)
 

@@ -19,6 +19,8 @@ from repro.experiments.fig4 import NOISE_LEVELS
 from repro.experiments.registry import experiment
 from repro.experiments.reporting import ExperimentResult
 
+__all__ = ["run"]
+
 _PAPER_N = 100_000
 
 

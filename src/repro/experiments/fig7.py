@@ -16,6 +16,11 @@ from repro.experiments._common import run_biased, scaled
 from repro.experiments.registry import experiment
 from repro.experiments.reporting import ExperimentResult
 
+__all__ = [
+    "KERNEL_SWEEP",
+    "run",
+]
+
 _PAPER_N = 100_000
 KERNEL_SWEEP = (100, 200, 400, 600, 800, 1000, 1200)
 _SAMPLE = 500

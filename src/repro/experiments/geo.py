@@ -16,6 +16,8 @@ from repro.experiments._common import run_biased, run_uniform, scaled
 from repro.experiments.registry import experiment
 from repro.experiments.reporting import ExperimentResult
 
+__all__ = ["run"]
+
 
 @experiment(
     "geo",

@@ -19,6 +19,11 @@ from repro.experiments._common import biased_sample, scaled
 from repro.experiments.registry import experiment
 from repro.experiments.reporting import ExperimentResult
 
+__all__ = [
+    "EXPONENTS",
+    "run",
+]
+
 EXPONENTS = (1.0, 0.5, 0.0, -0.25, -0.5, -0.75, -1.0, -1.5, -2.0)
 
 

@@ -18,6 +18,8 @@ from repro.experiments.registry import experiment
 from repro.experiments.reporting import ExperimentResult
 from repro.outliers import ApproximateOutlierDetector, IndexedOutlierDetector
 
+__all__ = ["run"]
+
 
 @experiment(
     "outliers",

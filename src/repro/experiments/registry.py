@@ -8,6 +8,12 @@ from typing import Callable
 from repro.exceptions import ParameterError
 from repro.experiments.reporting import ExperimentResult
 
+__all__ = [
+    "ExperimentSpec",
+    "experiment",
+    "get_experiment",
+]
+
 RunFunction = Callable[..., ExperimentResult]
 
 

@@ -10,6 +10,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+__all__ = [
+    "Table",
+    "ExperimentResult",
+]
+
 
 @dataclass
 class Table:

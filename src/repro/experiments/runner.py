@@ -8,6 +8,11 @@ import time
 from repro.experiments.registry import get_experiment
 from repro.experiments.reporting import ExperimentResult
 
+__all__ = [
+    "run_experiment",
+    "render_plots",
+]
+
 
 def run_experiment(
     name: str,
@@ -30,9 +35,13 @@ def run_experiment(
     seed:
         Base random seed; experiments derive all their generators from
         it, so a (name, scale, seed) triple is fully reproducible.
+    verbose:
+        Print the rendered report (and plots) to ``out``.
     plot:
         Additionally render each numeric sweep table as an ASCII line
         plot (the terminal version of the paper's figures).
+    out:
+        Writable stream for the report; defaults to ``sys.stdout``.
     """
     spec = get_experiment(name)
     stream = out if out is not None else sys.stdout

@@ -15,6 +15,8 @@ from repro.experiments._common import run_biased, run_uniform, scaled
 from repro.experiments.registry import experiment
 from repro.experiments.reporting import ExperimentResult
 
+__all__ = ["run"]
+
 _SIZES = (250, 500, 750, 1000, 1500, 2000, 3000)
 
 

@@ -17,6 +17,8 @@ from repro.experiments._common import scaled
 from repro.experiments.registry import experiment
 from repro.experiments.reporting import ExperimentResult
 
+__all__ = ["run"]
+
 
 def _sampling_time(points, n_kernels: int, seed: int) -> float:
     start = time.perf_counter()

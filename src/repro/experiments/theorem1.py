@@ -14,6 +14,8 @@ from repro.experiments.registry import experiment
 from repro.experiments.reporting import ExperimentResult
 from repro.utils.validation import check_random_state
 
+__all__ = ["run"]
+
 _N = 100_000
 _CLUSTER = 1000
 _ETA = 0.2

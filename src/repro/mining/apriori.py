@@ -18,6 +18,12 @@ import numpy as np
 from repro.exceptions import ParameterError
 from repro.mining.transactions import TransactionDataset
 
+__all__ = [
+    "apriori",
+    "Rule",
+    "association_rules",
+]
+
 
 def apriori(
     data: TransactionDataset,

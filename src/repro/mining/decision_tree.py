@@ -17,6 +17,11 @@ import numpy as np
 from repro.exceptions import NotFittedError, ParameterError
 from repro.utils.validation import check_array, check_random_state
 
+__all__ = [
+    "DecisionTreeClassifier",
+    "make_classification_dataset",
+]
+
 
 @dataclass
 class _Node:

@@ -31,6 +31,12 @@ from repro.mining.apriori import apriori
 from repro.mining.transactions import TransactionDataset
 from repro.utils.validation import check_random_state
 
+__all__ = [
+    "SampledAprioriResult",
+    "negative_border",
+    "sampled_apriori",
+]
+
 
 @dataclass
 class SampledAprioriResult:
@@ -130,6 +136,10 @@ def sampled_apriori(
         ``"uniform"`` or ``"length"`` — length-biased inclusion
         probabilities proportional to the transaction size, with
         inverse-probability weights restoring unbiased supports.
+    max_length:
+        Stop the level-wise search at itemsets of this size.
+    random_state:
+        Seed or generator for the transaction draws.
     """
     n = data.n_transactions
     if not 1 <= sample_size <= n:

@@ -17,6 +17,11 @@ import numpy as np
 from repro.exceptions import ParameterError
 from repro.utils.validation import check_random_state
 
+__all__ = [
+    "TransactionDataset",
+    "make_transaction_dataset",
+]
+
 
 @dataclass
 class TransactionDataset:
@@ -92,6 +97,8 @@ def make_transaction_dataset(
     corruption:
         Probability that each item of a chosen pattern is dropped from
         the transaction (models partial purchases).
+    random_state:
+        Seed or generator for the draws.
 
     Examples
     --------

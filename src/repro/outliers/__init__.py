@@ -8,7 +8,11 @@ paper's contribution is :class:`ApproximateOutlierDetector` (section
 in one pass and verifies them in at most two more.
 """
 
-from repro.outliers.base import OutlierResult, is_db_outlier_count
+from repro.outliers.base import (
+    OutlierDetector,
+    OutlierResult,
+    is_db_outlier_count,
+)
 from repro.outliers.knorr_ng import (
     IndexedOutlierDetector,
     NestedLoopOutlierDetector,
@@ -17,6 +21,7 @@ from repro.outliers.approximate import ApproximateOutlierDetector
 from repro.outliers.cell_based import CellBasedOutlierDetector
 
 __all__ = [
+    "OutlierDetector",
     "OutlierResult",
     "is_db_outlier_count",
     "NestedLoopOutlierDetector",

@@ -23,13 +23,15 @@ import numpy as np
 from repro.density.base import DensityEstimator
 from repro.density.kde import KernelDensityEstimator
 from repro.exceptions import ParameterError
-from repro.outliers.base import OutlierResult, resolve_p
+from repro.outliers.base import OutlierDetector, OutlierResult, resolve_p
 from repro.utils.geometry import ball_volume, sq_distances_to
 from repro.utils.streams import DataStream, as_stream
 from repro.utils.validation import check_positive
 
+__all__ = ["ApproximateOutlierDetector"]
 
-class ApproximateOutlierDetector:
+
+class ApproximateOutlierDetector(OutlierDetector):
     """Density screening + exact verification for DB(p, k) outliers.
 
     Parameters
@@ -38,6 +40,9 @@ class ApproximateOutlierDetector:
         Neighbourhood radius.
     p:
         Neighbour-count threshold (or ``fraction`` of the dataset size).
+    fraction:
+        Alternative to ``p``: the threshold as a fraction of the
+        dataset size (specify exactly one of the two).
     estimator:
         Density estimator; an unfitted one is fitted in the first pass.
         Defaults to the paper's 1000-kernel Epanechnikov KDE.
@@ -61,6 +66,11 @@ class ApproximateOutlierDetector:
         ``"volume"`` approximates the ball integral as ``f(O) *
         Vol(Ball(k))`` (one density evaluation per point); ``"montecarlo"``
         integrates with ``n_mc`` samples per point (slower, tighter).
+    n_mc:
+        Monte-Carlo points per ball for the ``"montecarlo"`` screen.
+    random_state:
+        Seed or generator for the Monte-Carlo draws (and the default
+        estimator's reservoir).
     """
 
     def __init__(

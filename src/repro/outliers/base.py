@@ -9,11 +9,20 @@ given as a fraction ``fr`` of the dataset size: ``p = fr * |D|``.
 
 from __future__ import annotations
 
+import abc
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.exceptions import ParameterError
+from repro.utils.streams import DataStream
+
+__all__ = [
+    "OutlierDetector",
+    "OutlierResult",
+    "resolve_p",
+    "is_db_outlier_count",
+]
 
 
 @dataclass(frozen=True)
@@ -43,6 +52,21 @@ class OutlierResult:
 
     def __len__(self) -> int:
         return self.indices.shape[0]
+
+
+class OutlierDetector(abc.ABC):
+    """Interface shared by every DB(p, k) detector.
+
+    The experiment harness and the approximate/exact cross-checks treat
+    detectors as interchangeable: anything with this surface can be
+    swapped into the outlier experiments. Conformance (method presence
+    *and* signature compatibility) is additionally enforced statically
+    by the repro-lint RL005 rule.
+    """
+
+    @abc.abstractmethod
+    def detect(self, data, *, stream: DataStream | None = None) -> OutlierResult:
+        """Find all DB(p, k) outliers of ``data`` (one or more passes)."""
 
 
 def resolve_p(p: int | None, fraction: float | None, n: int) -> int:

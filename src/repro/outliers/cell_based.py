@@ -25,13 +25,15 @@ import math
 import numpy as np
 
 from repro.exceptions import ParameterError
-from repro.outliers.base import OutlierResult, resolve_p
+from repro.outliers.base import OutlierDetector, OutlierResult, resolve_p
 from repro.utils.geometry import sq_distances_to
 from repro.utils.streams import DataStream, as_stream
 from repro.utils.validation import check_positive
 
+__all__ = ["CellBasedOutlierDetector"]
 
-class CellBasedOutlierDetector:
+
+class CellBasedOutlierDetector(OutlierDetector):
     """Exact DB(p, k) outliers via the Knorr-Ng cell grid.
 
     Parameters
@@ -41,6 +43,9 @@ class CellBasedOutlierDetector:
     p:
         Maximum neighbour count of an outlier (or ``fraction`` of the
         dataset size).
+    fraction:
+        Alternative to ``p``: the threshold as a fraction of the
+        dataset size (specify exactly one of the two).
     max_dims:
         Guard rail: the cell count grows as ``(1/l)^d``, so the
         algorithm refuses dimensions above this bound (the cited paper

@@ -17,13 +17,18 @@ import numpy as np
 from scipy.spatial import cKDTree
 
 from repro.exceptions import ParameterError
-from repro.outliers.base import OutlierResult, resolve_p
+from repro.outliers.base import OutlierDetector, OutlierResult, resolve_p
 from repro.utils.geometry import sq_distances_to
 from repro.utils.streams import DataStream, as_stream
 from repro.utils.validation import check_positive
 
+__all__ = [
+    "NestedLoopOutlierDetector",
+    "IndexedOutlierDetector",
+]
 
-class NestedLoopOutlierDetector:
+
+class NestedLoopOutlierDetector(OutlierDetector):
     """Block nested-loop exact DB(p, k) detection.
 
     Parameters
@@ -33,6 +38,9 @@ class NestedLoopOutlierDetector:
     p:
         Maximum neighbour count an outlier may have; alternatively give
         ``fraction`` and ``p = fraction * n`` is used.
+    fraction:
+        Alternative to ``p``: the threshold as a fraction of the
+        dataset size (specify exactly one of the two).
     block_size:
         Rows held in memory per block.
     """
@@ -87,7 +95,7 @@ class NestedLoopOutlierDetector:
         )
 
 
-class IndexedOutlierDetector:
+class IndexedOutlierDetector(OutlierDetector):
     """kd-tree exact DB(p, k) detection.
 
     Same output as the nested-loop detector; the tree turns each

@@ -25,6 +25,11 @@ from repro.core.guide import recommend_settings
 from repro.exceptions import ParameterError
 from repro.utils.streams import DataStream, as_stream
 
+__all__ = [
+    "PipelineResult",
+    "ApproximateClusteringPipeline",
+]
+
 
 @dataclass(frozen=True)
 class PipelineResult:

@@ -12,6 +12,12 @@ import numpy as np
 
 from repro.exceptions import ParameterError
 
+__all__ = [
+    "DEFAULT_GLYPHS",
+    "scatter_plot",
+    "line_plot",
+]
+
 DEFAULT_GLYPHS = ".o*#@+x%"
 
 

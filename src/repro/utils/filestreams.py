@@ -17,6 +17,11 @@ import numpy as np
 from repro.exceptions import DataValidationError
 from repro.utils.streams import DataStream
 
+__all__ = [
+    "NpyFileStream",
+    "CsvFileStream",
+]
+
 
 class NpyFileStream(DataStream):
     """Chunked passes over a ``.npy`` array via memory mapping.

@@ -11,6 +11,12 @@ import math
 
 import numpy as np
 
+__all__ = [
+    "ball_volume",
+    "pairwise_sq_distances",
+    "sq_distances_to",
+]
+
 
 def ball_volume(radius: float, n_dims: int) -> float:
     """Volume of a Euclidean ball of ``radius`` in ``n_dims`` dimensions.

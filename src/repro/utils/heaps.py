@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from typing import Hashable
 
+__all__ = ["IndexedMinHeap"]
+
 
 class IndexedMinHeap:
     """Min-heap over (key, item) pairs with O(log n) arbitrary updates.

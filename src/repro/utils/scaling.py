@@ -12,6 +12,8 @@ import numpy as np
 from repro.exceptions import NotFittedError
 from repro.utils.validation import check_array
 
+__all__ = ["MinMaxScaler"]
+
 
 class MinMaxScaler:
     """Affine map of each attribute onto ``[0, 1]``.

@@ -14,7 +14,14 @@ from typing import Iterator
 
 import numpy as np
 
+from repro.exceptions import DataValidationError
 from repro.utils.validation import check_array
+
+__all__ = [
+    "DataStream",
+    "PassCounter",
+    "as_stream",
+]
 
 
 class DataStream:
@@ -93,4 +100,9 @@ def as_stream(data, chunk_size: int = 65536) -> DataStream:
     """Coerce ``data`` to a :class:`DataStream` (no-op if it already is one)."""
     if isinstance(data, DataStream):
         return data
+    if data is None:
+        raise DataValidationError(
+            "no input given: pass a (n_points, n_dims) array as data, or a "
+            "DataStream via the stream keyword."
+        )
     return DataStream(data, chunk_size=chunk_size)

@@ -9,17 +9,31 @@ from __future__ import annotations
 import numbers
 
 import numpy as np
+from numpy.typing import ArrayLike, DTypeLike
 
 from repro.exceptions import DataValidationError, ParameterError
 
+__all__ = [
+    "RandomStateLike",
+    "check_array",
+    "check_random_state",
+    "check_positive",
+    "check_fraction",
+]
+
+#: Anything :func:`check_random_state` accepts as a randomness source.
+RandomStateLike = (
+    int | np.random.Generator | np.random.RandomState | None
+)
+
 
 def check_array(
-    data,
+    data: ArrayLike,
     *,
     name: str = "data",
     min_rows: int = 1,
     allow_1d: bool = False,
-    dtype=np.float64,
+    dtype: DTypeLike = np.float64,
 ) -> np.ndarray:
     """Validate and coerce ``data`` into a 2-D float array.
 
@@ -33,6 +47,8 @@ def check_array(
         Name used in error messages.
     min_rows:
         Minimum number of rows required.
+    allow_1d:
+        Accept a 1-D array and reshape it to a single column.
     dtype:
         Target dtype of the returned array.
 
@@ -75,7 +91,7 @@ def check_array(
     return np.ascontiguousarray(arr)
 
 
-def check_random_state(seed) -> np.random.Generator:
+def check_random_state(seed: RandomStateLike) -> np.random.Generator:
     """Turn ``seed`` into a :class:`numpy.random.Generator`.
 
     Accepts ``None`` (fresh entropy), an integer seed, an existing
@@ -95,7 +111,7 @@ def check_random_state(seed) -> np.random.Generator:
     )
 
 
-def check_positive(value, *, name: str, strict: bool = True) -> float:
+def check_positive(value: float, *, name: str, strict: bool = True) -> float:
     """Validate that a numeric parameter is positive (or non-negative)."""
     if not isinstance(value, numbers.Real) or isinstance(value, bool):
         raise ParameterError(f"{name} must be a real number; got {value!r}.")
@@ -107,7 +123,7 @@ def check_positive(value, *, name: str, strict: bool = True) -> float:
     return value
 
 
-def check_fraction(value, *, name: str, inclusive: bool = True) -> float:
+def check_fraction(value: float, *, name: str, inclusive: bool = True) -> float:
     """Validate that ``value`` lies in [0, 1] (or (0, 1) if not inclusive)."""
     if not isinstance(value, numbers.Real) or isinstance(value, bool):
         raise ParameterError(f"{name} must be a real number; got {value!r}.")

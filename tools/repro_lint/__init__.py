@@ -1,0 +1,50 @@
+"""repro-lint: repo-specific static analysis for reproducibility contracts.
+
+Run over the library tree::
+
+    python -m tools.repro_lint src/
+
+Rules
+-----
+RL001
+    No global-state or unseeded numpy randomness in library code.
+RL002
+    Randomness parameters must route through ``check_random_state``;
+    no hardcoded seeds.
+RL003
+    No mutable default argument values.
+RL004
+    ``__all__`` must exist in every library module and resolve;
+    package re-exports must resolve.
+RL005
+    Concrete subclasses of in-tree ABCs must implement the abstract
+    surface with call-compatible signatures.
+RL006
+    numpydoc ``Parameters`` sections must match the actual signature.
+
+Suppress a rule for one file with a comment anywhere in it::
+
+    # repro-lint: disable=RL001,RL004
+"""
+
+from tools.repro_lint.core import (
+    RULES,
+    Rule,
+    Violation,
+    iter_rules,
+    lint_paths,
+    parse_suppressions,
+)
+from tools.repro_lint.reporting import render_json, render_text, rule_listing
+
+__all__ = [
+    "RULES",
+    "Rule",
+    "Violation",
+    "iter_rules",
+    "lint_paths",
+    "parse_suppressions",
+    "render_json",
+    "render_text",
+    "rule_listing",
+]

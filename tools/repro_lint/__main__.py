@@ -1,0 +1,81 @@
+"""Command-line entry point: ``python -m tools.repro_lint [paths...]``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from tools.repro_lint.core import lint_paths
+from tools.repro_lint.reporting import render_json, render_text, rule_listing
+
+__all__ = ["main"]
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Lint ``paths`` and print a report; exit 1 on any violation."""
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.repro_lint",
+        description=(
+            "Repo-specific static analysis enforcing determinism and "
+            "estimator-API contracts (rules RL001-RL006)."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RLxxx[,RLxxx...]",
+        default=None,
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list registered rules and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(rule_listing())
+        return 0
+
+    missing = [p for p in args.paths if not Path(p).exists()]
+    if missing:
+        # A typo'd path must not look like a clean lint run.
+        print(
+            "repro-lint: no such file or directory: "
+            + ", ".join(missing),
+            file=sys.stderr,
+        )
+        return 2
+
+    select = (
+        [c.strip() for c in args.select.split(",") if c.strip()]
+        if args.select
+        else None
+    )
+    try:
+        violations = lint_paths(args.paths, select=select)
+    except KeyError as exc:
+        print(f"repro-lint: {exc.args[0]}", file=sys.stderr)
+        return 2
+
+    renderer = render_json if args.format == "json" else render_text
+    print(renderer(violations))
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

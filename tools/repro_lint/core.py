@@ -1,0 +1,381 @@
+"""Core machinery for repro-lint: file model, rule registry, runner.
+
+repro-lint is a repo-specific static-analysis pass. Reproducing the
+paper's figures hinges on invariants that ordinary linters do not check
+— determinism of every sampler and estimator, a uniform randomness API,
+explicit public module surfaces, and conformance to the estimator base
+classes. Each invariant is an AST rule (``RL001``..``RL006``) registered
+here; the runner parses every file once, builds a light project model so
+cross-module rules (re-export resolution, base-class conformance) can
+see sibling modules, and reports violations sorted by location.
+
+Suppression is per file: a comment anywhere in the file of the form
+``# repro-lint: disable=RL001,RL004`` disables those rules for that
+file only.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterable, Iterator
+
+__all__ = [
+    "LIBRARY_EXCLUDED_PARTS",
+    "ModuleInfo",
+    "ProjectModel",
+    "Rule",
+    "RULES",
+    "Violation",
+    "collect_python_files",
+    "iter_rules",
+    "lint_paths",
+    "parse_suppressions",
+    "register",
+]
+
+#: Directory names whose files are not "library code" (rules that only
+#: apply to the shipped library, like RL001, skip them).
+LIBRARY_EXCLUDED_PARTS = frozenset({"tests", "benchmarks", "examples"})
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint\s*:\s*disable\s*=\s*(?P<codes>RL\d{3}(?:\s*,\s*RL\d{3})*)"
+)
+
+
+@dataclass(frozen=True, order=True)
+class Violation:
+    """One rule violation at a source location.
+
+    Attributes
+    ----------
+    path:
+        File path, as passed to the runner.
+    line:
+        1-based line number.
+    col:
+        0-based column offset.
+    rule:
+        Rule code, e.g. ``"RL003"``.
+    message:
+        Human-readable description of the violation.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def format(self) -> str:
+        """Render as ``path:line:col: CODE message`` (clickable in IDEs)."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable representation."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+
+def parse_suppressions(source: str) -> frozenset[str]:
+    """Rule codes disabled for a file via ``# repro-lint: disable=...``."""
+    codes: set[str] = set()
+    for match in _SUPPRESS_RE.finditer(source):
+        codes.update(c.strip() for c in match.group("codes").split(","))
+    return frozenset(codes)
+
+
+@dataclass
+class ModuleInfo:
+    """A parsed source file plus the metadata rules need.
+
+    Attributes
+    ----------
+    path:
+        Filesystem path of the file.
+    display_path:
+        Path string used in reports (relative when possible).
+    module:
+        Dotted module name (``repro.density.kde``) when the file sits in
+        a package; the bare stem otherwise.
+    tree:
+        Parsed :class:`ast.Module`.
+    source:
+        Raw file contents.
+    suppressed:
+        Rule codes disabled for this file.
+    is_library:
+        False for files under ``tests/``, ``benchmarks/`` or
+        ``examples/`` directories.
+    """
+
+    path: Path
+    display_path: str
+    module: str
+    tree: ast.Module
+    source: str
+    suppressed: frozenset[str] = frozenset()
+    is_library: bool = True
+
+    @property
+    def is_init(self) -> bool:
+        return self.path.name == "__init__.py"
+
+    @property
+    def is_main(self) -> bool:
+        return self.path.name == "__main__.py"
+
+    def top_level_bindings(self) -> set[str]:
+        """Names bound at module top level (defs, classes, imports, assigns)."""
+        bound: set[str] = set()
+        for node in self.tree.body:
+            bound.update(_bindings_of(node))
+        return bound
+
+
+def _bindings_of(node: ast.stmt) -> Iterator[str]:
+    """Names a single top-level statement binds in the module namespace."""
+    if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+        yield node.name
+    elif isinstance(node, ast.Import):
+        for alias in node.names:
+            yield alias.asname or alias.name.split(".")[0]
+    elif isinstance(node, ast.ImportFrom):
+        for alias in node.names:
+            if alias.name == "*":
+                continue
+            yield alias.asname or alias.name
+    elif isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+        targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+        for target in targets:
+            for leaf in ast.walk(target):
+                if isinstance(leaf, ast.Name):
+                    yield leaf.id
+    elif isinstance(node, (ast.If, ast.Try)):
+        # Conditional definitions (version gates, optional imports).
+        bodies = [node.body, getattr(node, "orelse", [])]
+        for handler in getattr(node, "handlers", []):
+            bodies.append(handler.body)
+        for body in bodies:
+            for sub in body:
+                yield from _bindings_of(sub)
+
+
+class ProjectModel:
+    """All parsed modules of one lint run, addressable by dotted name.
+
+    Cross-module rules (RL004 re-export resolution, RL005 base-class
+    conformance) use this to look at sibling files without importing
+    anything — the whole pass is import-free so it can run on broken or
+    dependency-missing trees.
+    """
+
+    def __init__(self, modules: Iterable[ModuleInfo]):
+        self.modules: list[ModuleInfo] = list(modules)
+        self.by_name: dict[str, ModuleInfo] = {}
+        for info in self.modules:
+            self.by_name.setdefault(info.module, info)
+
+    def resolve_module(self, dotted: str) -> ModuleInfo | None:
+        """The scanned module with dotted name ``dotted``, if any."""
+        return self.by_name.get(dotted)
+
+    def has_submodule(self, package: str, name: str) -> bool:
+        """Whether ``package.name`` is a scanned module or package."""
+        dotted = f"{package}.{name}"
+        return dotted in self.by_name or any(
+            m.startswith(dotted + ".") for m in self.by_name
+        )
+
+    def class_def(self, module: str, name: str) -> tuple[ModuleInfo, ast.ClassDef] | None:
+        """Find class ``name`` in ``module``, following its imports once.
+
+        Returns the (module, ClassDef) pair where the class body actually
+        lives, chasing ``from x import name`` links through the project.
+        """
+        seen: set[tuple[str, str]] = set()
+        current = module
+        target = name
+        while (current, target) not in seen:
+            seen.add((current, target))
+            info = self.by_name.get(current)
+            if info is None:
+                return None
+            for node in info.tree.body:
+                if isinstance(node, ast.ClassDef) and node.name == target:
+                    return info, node
+            # Not defined here: is it imported from a sibling?
+            for node in info.tree.body:
+                if isinstance(node, ast.ImportFrom) and node.module:
+                    for alias in node.names:
+                        if (alias.asname or alias.name) == target:
+                            current, target = node.module, alias.name
+                            break
+                    else:
+                        continue
+                    break
+            else:
+                return None
+        return None
+
+
+class Rule:
+    """Base class for lint rules. Subclasses set ``code``/``summary``."""
+
+    code: str = "RL000"
+    summary: str = ""
+
+    def check(self, info: ModuleInfo, project: ProjectModel) -> Iterator[Violation]:
+        """Yield violations for one file. Override in subclasses."""
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    def violation(
+        self, info: ModuleInfo, node: ast.AST | None, message: str
+    ) -> Violation:
+        """Build a :class:`Violation` anchored at ``node`` (or line 1)."""
+        line = getattr(node, "lineno", 1) if node is not None else 1
+        col = getattr(node, "col_offset", 0) if node is not None else 0
+        return Violation(
+            path=info.display_path,
+            line=line,
+            col=col,
+            rule=self.code,
+            message=message,
+        )
+
+
+#: Global registry, code -> rule instance, populated by :func:`register`.
+RULES: dict[str, Rule] = {}
+
+
+def register(cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    instance = cls()
+    if instance.code in RULES:
+        raise ValueError(f"duplicate rule code {instance.code}")
+    RULES[instance.code] = instance
+    return cls
+
+
+def iter_rules(select: Iterable[str] | None = None) -> list[Rule]:
+    """Registered rules, optionally restricted to ``select`` codes."""
+    _load_rules()
+    if select is None:
+        return [RULES[c] for c in sorted(RULES)]
+    unknown = sorted(set(select) - set(RULES))
+    if unknown:
+        raise KeyError(f"unknown rule code(s): {', '.join(unknown)}")
+    return [RULES[c] for c in sorted(select)]
+
+
+def _load_rules() -> None:
+    """Import the rule modules (registers them as a side effect)."""
+    from tools.repro_lint import (  # noqa: F401
+        rules_defaults,
+        rules_docstrings,
+        rules_estimator,
+        rules_exports,
+        rules_randomness,
+    )
+
+
+def collect_python_files(paths: Iterable[str | Path]) -> list[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    files: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.update(
+                p
+                for p in path.rglob("*.py")
+                if not any(part.startswith(".") for part in p.parts)
+            )
+        elif path.suffix == ".py":
+            files.add(path)
+    return sorted(files)
+
+
+def _module_name(path: Path) -> str:
+    """Dotted module name, walking up through ``__init__.py`` packages."""
+    parts = [path.stem] if path.stem != "__init__" else []
+    parent = path.resolve().parent
+    while (parent / "__init__.py").exists():
+        parts.insert(0, parent.name)
+        parent = parent.parent
+    return ".".join(parts) if parts else path.stem
+
+
+def _display_path(path: Path) -> str:
+    try:
+        return str(path.resolve().relative_to(Path.cwd()))
+    except ValueError:
+        return str(path)
+
+
+def build_model(files: Iterable[Path]) -> tuple[ProjectModel, list[Violation]]:
+    """Parse ``files`` into a :class:`ProjectModel`; syntax errors become
+    violations (code ``RL000``) rather than aborting the run."""
+    infos: list[ModuleInfo] = []
+    errors: list[Violation] = []
+    for path in files:
+        source = path.read_text(encoding="utf-8")
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError as exc:
+            errors.append(
+                Violation(
+                    path=_display_path(path),
+                    line=exc.lineno or 1,
+                    col=exc.offset or 0,
+                    rule="RL000",
+                    message=f"syntax error: {exc.msg}",
+                )
+            )
+            continue
+        infos.append(
+            ModuleInfo(
+                path=path,
+                display_path=_display_path(path),
+                module=_module_name(path),
+                tree=tree,
+                source=source,
+                suppressed=parse_suppressions(source),
+                is_library=not (
+                    LIBRARY_EXCLUDED_PARTS & set(path.resolve().parts)
+                ),
+            )
+        )
+    return ProjectModel(infos), errors
+
+
+def lint_paths(
+    paths: Iterable[str | Path],
+    *,
+    select: Iterable[str] | None = None,
+) -> list[Violation]:
+    """Run the registered rules over ``paths`` and return all violations.
+
+    Parameters
+    ----------
+    paths:
+        Files and/or directories to lint (directories are walked for
+        ``*.py``).
+    select:
+        Restrict the run to these rule codes (default: all).
+    """
+    rules = iter_rules(select)
+    project, violations = build_model(collect_python_files(paths))
+    for info in project.modules:
+        for rule in rules:
+            if rule.code in info.suppressed:
+                continue
+            violations.extend(rule.check(info, project))
+    return sorted(violations)

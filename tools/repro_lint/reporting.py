@@ -1,0 +1,47 @@
+"""Violation reporters: human-readable text and machine-readable JSON."""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Iterable
+
+from tools.repro_lint.core import RULES, Violation, iter_rules
+
+__all__ = ["render_json", "render_text", "rule_listing"]
+
+
+def render_text(violations: Iterable[Violation]) -> str:
+    """``path:line:col: CODE message`` lines plus a per-rule summary."""
+    violations = list(violations)
+    if not violations:
+        return "repro-lint: clean (0 violations)."
+    lines = [v.format() for v in violations]
+    counts = Counter(v.rule for v in violations)
+    summary = ", ".join(f"{code} x{n}" for code, n in sorted(counts.items()))
+    lines.append(
+        f"repro-lint: {len(violations)} violation(s) [{summary}]."
+    )
+    return "\n".join(lines)
+
+
+def render_json(violations: Iterable[Violation]) -> str:
+    """JSON document with violation records and per-rule counts."""
+    violations = list(violations)
+    counts = Counter(v.rule for v in violations)
+    return json.dumps(
+        {
+            "violations": [v.to_dict() for v in violations],
+            "counts": dict(sorted(counts.items())),
+            "total": len(violations),
+        },
+        indent=2,
+    )
+
+
+def rule_listing() -> str:
+    """One line per registered rule: code and summary."""
+    iter_rules()  # ensure rule modules are imported
+    return "\n".join(
+        f"{code}  {RULES[code].summary}" for code in sorted(RULES)
+    )
