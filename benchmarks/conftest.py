@@ -7,15 +7,25 @@ run once per benchmark — they are seconds-long pipelines, not
 microbenchmarks — and attach their result tables to
 ``benchmark.extra_info`` so the saved JSON carries the regenerated
 numbers alongside the timings.
+
+Each run also records a :class:`repro.obs.RunManifest` (dataset passes,
+kernel evaluations, sample sizes, phase timings). The manifest lands in
+``benchmark.extra_info["metrics"]`` and, additionally, as one JSON file
+per benchmark under ``BENCH_METRICS_DIR`` (default
+``results/bench_metrics``), giving the BENCH_*.json trajectory
+structured numbers rather than wall time alone.
 """
 
 from __future__ import annotations
 
+import json
 import os
+from pathlib import Path
 
 import pytest
 
 DEFAULT_SCALE = 0.1
+DEFAULT_METRICS_DIR = os.path.join("results", "bench_metrics")
 
 
 @pytest.fixture(scope="session")
@@ -23,17 +33,25 @@ def bench_scale() -> float:
     return float(os.environ.get("BENCH_SCALE", DEFAULT_SCALE))
 
 
+@pytest.fixture(scope="session")
+def bench_metrics_dir() -> Path:
+    path = Path(os.environ.get("BENCH_METRICS_DIR", DEFAULT_METRICS_DIR))
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
 @pytest.fixture
-def run_once(benchmark):
-    """Run an experiment exactly once under the benchmark timer and
-    attach its tables to the benchmark record."""
+def run_once(benchmark, bench_metrics_dir):
+    """Run an experiment exactly once under the benchmark timer, attach
+    its tables and recorded metrics to the benchmark record, and write
+    the run manifest as per-bench JSON."""
 
     def runner(name: str, scale: float, seed: int = 0):
         from repro.experiments import run_experiment
 
         result = benchmark.pedantic(
             lambda: run_experiment(name, scale=scale, seed=seed,
-                                   verbose=False),
+                                   verbose=False, record=True),
             rounds=1,
             iterations=1,
         )
@@ -43,6 +61,11 @@ def run_once(benchmark):
             table.title: {"headers": table.headers, "rows": table.rows}
             for table in result.tables
         }
+        if result.manifest is not None:
+            metrics = result.manifest.to_dict()
+            benchmark.extra_info["metrics"] = metrics
+            out = bench_metrics_dir / f"{name}_scale{scale}_seed{seed}.json"
+            out.write_text(json.dumps(metrics, indent=2, sort_keys=True))
         return result
 
     return runner

@@ -52,6 +52,13 @@ from repro.outliers import (
     NestedLoopOutlierDetector,
 )
 from repro.baselines import GridBiasedSampler
+from repro.obs import (
+    Recorder,
+    RunManifest,
+    get_recorder,
+    recording,
+    use_recorder,
+)
 from repro.pipeline import ApproximateClusteringPipeline, PipelineResult
 from repro.exceptions import (
     ConvergenceWarning,
@@ -90,6 +97,11 @@ __all__ = [
     "GridBiasedSampler",
     "ApproximateClusteringPipeline",
     "PipelineResult",
+    "Recorder",
+    "RunManifest",
+    "get_recorder",
+    "recording",
+    "use_recorder",
     "ReproError",
     "NotFittedError",
     "DataValidationError",

@@ -9,6 +9,9 @@ Commands
 ``repro run all [--scale S] [--seed N]``
     Run the full suite in registry order.
 """
+# The CLI is the terminal surface: stdout IS its output channel, so
+# bare print() is the sanctioned sink here.
+# repro-lint: disable=RL007
 
 from __future__ import annotations
 
@@ -17,6 +20,7 @@ import sys
 
 from repro.exceptions import ReproError
 from repro.experiments import EXPERIMENTS, run_experiment
+from repro.obs import format_spans
 
 __all__ = [
     "build_parser",
@@ -61,6 +65,18 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also render sweep tables as ASCII line plots",
     )
+    run.add_argument(
+        "--trace",
+        action="store_true",
+        help="print the recorded phase/span tree and counters to stderr",
+    )
+    run.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help="append each run's manifest (counters, timers, span tree) "
+        "to PATH as one JSON line",
+    )
     return parser
 
 
@@ -91,8 +107,18 @@ def main(argv=None) -> int:
     )
     try:
         for name in names:
-            run_experiment(name, scale=args.scale, seed=args.seed,
-                           plot=args.plot)
+            result = run_experiment(name, scale=args.scale, seed=args.seed,
+                                    plot=args.plot,
+                                    metrics_out=args.metrics_out)
+            if args.trace and result.manifest is not None:
+                manifest = result.manifest
+                print(f"[trace] {name}", file=sys.stderr)
+                print(format_spans(manifest.spans), file=sys.stderr)
+                counters = "  ".join(
+                    f"{key}={value:g}"
+                    for key, value in sorted(manifest.counters.items())
+                )
+                print(f"[trace] counters: {counters}", file=sys.stderr)
             print()
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

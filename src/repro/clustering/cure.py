@@ -31,6 +31,7 @@ import numpy as np
 
 from repro.clustering.base import Clusterer, ClusteringResult
 from repro.exceptions import ParameterError
+from repro.obs import get_recorder
 from repro.utils.geometry import sq_distances_to
 from repro.utils.heaps import IndexedMinHeap
 from repro.utils.validation import check_array, check_fraction
@@ -220,6 +221,9 @@ class CureClustering(Clusterer):
         live = owners >= 0
         live_reps = self._pool[:used][live]
         live_owners = owners[live]
+        get_recorder().count(
+            "distance_evals", live_reps.shape[0] * cluster.reps.shape[0]
+        )
         # (n_live_reps, n_cluster_reps) squared distances -> per-rep min.
         d = sq_distances_to(live_reps, cluster.reps).min(axis=1)
         out = np.full(self._next_id + 1, np.inf)

@@ -31,6 +31,7 @@ from numpy.typing import ArrayLike
 from repro.density.base import DensityEstimator
 from repro.density.kde import KernelDensityEstimator
 from repro.exceptions import ParameterError
+from repro.obs import get_recorder
 from repro.utils.streams import DataStream, as_stream
 from repro.utils.validation import (
     RandomStateLike,
@@ -182,15 +183,24 @@ class DensityBiasedSampler:
         """
         source = stream if stream is not None else as_stream(data)
         rng = check_random_state(self.random_state)
+        recorder = get_recorder()
 
-        estimator = self._resolve_estimator(source, rng)
-        densities = self._dataset_densities(source, estimator)
-        probabilities = self.compute_probabilities(densities)
+        with recorder.phase("fit_density"):
+            estimator = self._resolve_estimator(source, rng)
+        with recorder.phase("eval_density"):
+            densities = self._dataset_densities(source, estimator)
+            probabilities = self.compute_probabilities(densities)
         self.probabilities_ = probabilities
 
-        if self.exact_size:
-            return self._draw_exact(source, densities, probabilities, rng)
-        return self._draw_bernoulli(source, densities, probabilities, rng)
+        with recorder.phase("draw"):
+            if self.exact_size:
+                result = self._draw_exact(source, densities, probabilities, rng)
+            else:
+                result = self._draw_bernoulli(
+                    source, densities, probabilities, rng
+                )
+        recorder.count("sample_size", len(result))
+        return result
 
     def _resolve_estimator(
         self, source: DataStream, rng: np.random.Generator

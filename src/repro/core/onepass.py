@@ -22,6 +22,7 @@ from repro.core.biased import BiasedSample, DensityBiasedSampler
 from repro.density.base import DensityEstimator
 from repro.density.reservoir import reservoir_sample
 from repro.exceptions import ParameterError
+from repro.obs import get_recorder
 from repro.utils.streams import DataStream, as_stream
 from repro.utils.validation import RandomStateLike, check_random_state
 
@@ -67,8 +68,11 @@ class OnePassBiasedSampler(DensityBiasedSampler):
         """Draw the sample with one scan after the estimator fit."""
         source = stream if stream is not None else as_stream(data)
         rng = check_random_state(self.random_state)
-        estimator = self._resolve_estimator(source, rng)
-        k_hat, floor = self._estimate_normalizer(source, estimator, rng)
+        recorder = get_recorder()
+        with recorder.phase("fit_density"):
+            estimator = self._resolve_estimator(source, rng)
+        with recorder.phase("estimate_normalizer"):
+            k_hat, floor = self._estimate_normalizer(source, estimator, rng)
         self.normalizer_ = k_hat
 
         sampled_points: list[np.ndarray] = []
@@ -77,17 +81,18 @@ class OnePassBiasedSampler(DensityBiasedSampler):
         sampled_dens: list[np.ndarray] = []
         expected = 0.0
         scale = self.sample_size / k_hat
-        for start, chunk in source.iter_with_offsets():
-            densities = estimator.evaluate(chunk)
-            weights = self._floored_power(densities, floor)
-            probs = np.minimum(1.0, scale * weights)
-            expected += float(probs.sum())
-            keep = rng.random(chunk.shape[0]) < probs
-            if keep.any():
-                sampled_points.append(chunk[keep])
-                sampled_idx.append(start + np.nonzero(keep)[0])
-                sampled_probs.append(probs[keep])
-                sampled_dens.append(densities[keep])
+        with recorder.phase("draw"):
+            for start, chunk in source.iter_with_offsets():
+                densities = estimator.evaluate(chunk)
+                weights = self._floored_power(densities, floor)
+                probs = np.minimum(1.0, scale * weights)
+                expected += float(probs.sum())
+                keep = rng.random(chunk.shape[0]) < probs
+                if keep.any():
+                    sampled_points.append(chunk[keep])
+                    sampled_idx.append(start + np.nonzero(keep)[0])
+                    sampled_probs.append(probs[keep])
+                    sampled_dens.append(densities[keep])
 
         if sampled_points:
             points = np.vstack(sampled_points)
@@ -99,6 +104,7 @@ class OnePassBiasedSampler(DensityBiasedSampler):
             indices = np.empty(0, dtype=np.int64)
             probabilities = np.empty(0)
             densities = np.empty(0)
+        recorder.count("sample_size", indices.shape[0])
         return BiasedSample(
             points=points,
             indices=indices,

@@ -13,6 +13,7 @@ from numpy.typing import ArrayLike
 
 from repro.core.biased import BiasedSample
 from repro.exceptions import ParameterError
+from repro.obs import get_recorder
 from repro.utils.streams import DataStream, as_stream
 from repro.utils.validation import RandomStateLike, check_random_state
 
@@ -52,6 +53,7 @@ class UniformSampler:
         biased sampler so downstream code is sampler-agnostic."""
         source = stream if stream is not None else as_stream(data)
         rng = check_random_state(self.random_state)
+        recorder = get_recorder()
         n = len(source)
         if self.exact_size:
             indices = rng.choice(n, size=min(self.sample_size, n), replace=False)
@@ -62,13 +64,15 @@ class UniformSampler:
         mask = np.zeros(n, dtype=bool)
         mask[indices] = True
         parts = []
-        for start, chunk in source.iter_with_offsets():
-            local = mask[start : start + chunk.shape[0]]
-            if local.any():
-                parts.append(chunk[local])
+        with recorder.phase("draw"):
+            for start, chunk in source.iter_with_offsets():
+                local = mask[start : start + chunk.shape[0]]
+                if local.any():
+                    parts.append(chunk[local])
         points = (
             np.vstack(parts) if parts else np.empty((0, source.n_dims))
         )
+        recorder.count("sample_size", indices.shape[0])
         prob = min(1.0, self.sample_size / n)
         return BiasedSample(
             points=points,

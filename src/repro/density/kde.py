@@ -22,6 +22,7 @@ from repro.density.base import DensityEstimator
 from repro.density.kernels import get_kernel
 from repro.density.reservoir import ReservoirSampler
 from repro.exceptions import ParameterError
+from repro.obs import get_recorder
 from repro.utils.streams import DataStream
 from repro.utils.validation import check_random_state
 
@@ -156,6 +157,8 @@ class KernelDensityEstimator(DensityEstimator):
 
     def _evaluate_block(self, block: np.ndarray) -> np.ndarray:
         m = self.centers_.shape[0]
+        # One kernel evaluation = one (query point, center) pair.
+        get_recorder().count("kernel_evals", block.shape[0] * m)
         # Accumulate the product over dimensions one attribute at a time
         # to avoid materialising a (rows, m, d) tensor.
         weights = np.ones((block.shape[0], m))

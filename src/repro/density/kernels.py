@@ -18,6 +18,7 @@ import math
 import numpy as np
 
 from repro.exceptions import ParameterError
+from repro.obs import get_recorder
 
 __all__ = [
     "Kernel",
@@ -53,7 +54,9 @@ class Kernel(abc.ABC):
         """Kernel value at (already scaled) offsets ``u``."""
 
     def __call__(self, u) -> np.ndarray:
-        return self.profile(np.asarray(u, dtype=np.float64))
+        values = np.asarray(u, dtype=np.float64)
+        get_recorder().count("kernel_evals", values.size)
+        return self.profile(values)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}()"

@@ -14,8 +14,6 @@
 
 from __future__ import annotations
 
-import time
-
 from repro.core import DensityBiasedSampler, OnePassBiasedSampler
 from repro.datasets import make_fig5_dataset
 from repro.density import (
@@ -26,6 +24,7 @@ from repro.density import (
 from repro.experiments._common import cure_found, scaled
 from repro.experiments.registry import experiment
 from repro.experiments.reporting import ExperimentResult
+from repro.obs import Stopwatch
 
 __all__ = [
     "run_estimators",
@@ -61,16 +60,15 @@ def run_estimators(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
         ("knn_k10", KnnDensityEstimator(n_sample=1000, k=10, random_state=seed)),
     )
     for name, estimator in backends:
-        start = time.perf_counter()
-        sample = DensityBiasedSampler(
-            sample_size=sample_size,
-            exponent=-0.5,
-            estimator=estimator,
-            random_state=seed,
-        ).sample(dataset.points)
-        elapsed = time.perf_counter() - start
+        with Stopwatch() as watch:
+            sample = DensityBiasedSampler(
+                sample_size=sample_size,
+                exponent=-0.5,
+                estimator=estimator,
+                random_state=seed,
+            ).sample(dataset.points)
         found = cure_found(dataset, sample.points, n_clusters=10)
-        table.add_row(name, found, elapsed, len(sample))
+        table.add_row(name, found, watch.elapsed, len(sample))
     result.notes.append(
         "the framework is estimator-agnostic; the paper prefers kernels "
         "for accuracy at a fixed summary size."
@@ -159,20 +157,22 @@ def run_kernels(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
     )
     for kernel in ("epanechnikov", "gaussian", "uniform", "triangular",
                    "biweight"):
-        start = time.perf_counter()
         found = []
-        for offset in range(2):
-            estimator = KernelDensityEstimator(
-                n_kernels=1000, kernel=kernel, random_state=seed + offset
-            )
-            sample = DensityBiasedSampler(
-                sample_size=sample_size,
-                exponent=-0.25,
-                estimator=estimator,
-                random_state=seed + offset,
-            ).sample(dataset.points)
-            found.append(cure_found(dataset, sample.points, n_clusters=10))
-        elapsed = (time.perf_counter() - start) / 2
+        with Stopwatch() as watch:
+            for offset in range(2):
+                estimator = KernelDensityEstimator(
+                    n_kernels=1000, kernel=kernel, random_state=seed + offset
+                )
+                sample = DensityBiasedSampler(
+                    sample_size=sample_size,
+                    exponent=-0.25,
+                    estimator=estimator,
+                    random_state=seed + offset,
+                ).sample(dataset.points)
+                found.append(
+                    cure_found(dataset, sample.points, n_clusters=10)
+                )
+        elapsed = watch.elapsed / 2
         table.add_row(kernel, round(sum(found) / 2, 2), elapsed)
     result.notes.append(
         "all profiles support the sampler; compact-support kernels "

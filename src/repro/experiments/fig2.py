@@ -13,8 +13,6 @@ faster.
 
 from __future__ import annotations
 
-import time
-
 from repro.clustering import CureClustering
 from repro.core import DensityBiasedSampler, UniformSampler
 from repro.datasets import make_clustered_dataset
@@ -22,6 +20,7 @@ from repro.density import KernelDensityEstimator
 from repro.experiments._common import scaled
 from repro.experiments.registry import experiment
 from repro.experiments.reporting import ExperimentResult
+from repro.obs import Stopwatch
 
 __all__ = ["run"]
 
@@ -80,27 +79,29 @@ def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
 def _time_biased(
     points, b: int, seed: int
 ) -> tuple[float, float, float, int]:
-    start = time.perf_counter()
-    estimator = KernelDensityEstimator(n_kernels=1000, random_state=seed)
-    sample = DensityBiasedSampler(
-        sample_size=b, exponent=0.5, estimator=estimator, random_state=seed
-    ).sample(points)
-    sampled = time.perf_counter()
-    clusterer = CureClustering(n_clusters=10)
-    clusterer.fit(sample.points)
-    done = time.perf_counter()
+    with Stopwatch() as total:
+        with Stopwatch() as sampling:
+            estimator = KernelDensityEstimator(
+                n_kernels=1000, random_state=seed
+            )
+            sample = DensityBiasedSampler(
+                sample_size=b, exponent=0.5, estimator=estimator,
+                random_state=seed,
+            ).sample(points)
+        clusterer = CureClustering(n_clusters=10)
+        clusterer.fit(sample.points)
     # Distance sweeps are the hardware-independent work measure: each is
     # one vectorised representative-pool scan (see CureClustering).
     return (
-        done - start,
-        sampled - start,
-        done - sampled,
+        total.elapsed,
+        sampling.elapsed,
+        total.elapsed - sampling.elapsed,
         clusterer.n_distance_sweeps_,
     )
 
 
 def _time_uniform(points, b: int, seed: int) -> float:
-    start = time.perf_counter()
-    sample = UniformSampler(b, random_state=seed).sample(points)
-    CureClustering(n_clusters=10).fit(sample.points)
-    return time.perf_counter() - start
+    with Stopwatch() as watch:
+        sample = UniformSampler(b, random_state=seed).sample(points)
+        CureClustering(n_clusters=10).fit(sample.points)
+    return watch.elapsed

@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.obs import RunManifest
+
 __all__ = [
     "Table",
     "ExperimentResult",
@@ -67,12 +69,20 @@ def _fmt(value) -> str:
 
 @dataclass
 class ExperimentResult:
-    """Everything one experiment produced."""
+    """Everything one experiment produced.
+
+    ``elapsed`` (wall seconds of the whole run, from the recorder's
+    root span) and ``manifest`` (the :class:`repro.obs.RunManifest`
+    with counters and phase tracing) are filled in by
+    :func:`repro.experiments.run_experiment`.
+    """
 
     name: str
     description: str
     tables: list[Table] = field(default_factory=list)
     notes: list[str] = field(default_factory=list)
+    elapsed: float | None = None
+    manifest: RunManifest | None = None
 
     def new_table(self, title: str, headers: list[str]) -> Table:
         table = Table(title=title, headers=headers)

@@ -3,10 +3,17 @@
 from __future__ import annotations
 
 import sys
-import time
+from contextlib import nullcontext
 
 from repro.experiments.registry import get_experiment
 from repro.experiments.reporting import ExperimentResult
+from repro.obs import (
+    Recorder,
+    RunManifest,
+    Stopwatch,
+    get_recorder,
+    use_recorder,
+)
 
 __all__ = [
     "run_experiment",
@@ -21,6 +28,8 @@ def run_experiment(
     verbose: bool = True,
     plot: bool = False,
     out=None,
+    record: bool = True,
+    metrics_out=None,
 ) -> ExperimentResult:
     """Run one experiment and (optionally) print its report.
 
@@ -42,15 +51,42 @@ def run_experiment(
         plot (the terminal version of the paper's figures).
     out:
         Writable stream for the report; defaults to ``sys.stdout``.
+    record:
+        Install a fresh :class:`repro.obs.Recorder` around the run and
+        attach a :class:`repro.obs.RunManifest` (counters, timers, span
+        tree) to the result. When false, any ambient recorder still
+        observes the run and no manifest is built.
+    metrics_out:
+        Manifest sink (path, stream, or callable — see
+        :meth:`repro.obs.RunManifest.emit`); implies nothing when
+        ``record`` is false.
     """
     spec = get_experiment(name)
     stream = out if out is not None else sys.stdout
-    started = time.perf_counter()
-    result = spec.run(scale=scale, seed=seed)
-    elapsed = time.perf_counter() - started
+    if record:
+        recorder = Recorder()
+        context = use_recorder(recorder)
+    else:
+        recorder = get_recorder()
+        context = nullcontext()
+    with context, Stopwatch() as watch:
+        with recorder.phase(f"run:{name}"):
+            result = spec.run(scale=scale, seed=seed)
+    if record:
+        result.elapsed = recorder.spans[-1].elapsed
+        result.manifest = RunManifest.from_recorder(
+            recorder,
+            name=name,
+            seed=seed,
+            params={"scale": scale, "seed": seed},
+        )
+        if metrics_out is not None:
+            result.manifest.emit(metrics_out)
+    else:
+        result.elapsed = watch.elapsed
     result.notes.append(
         f"run settings: scale={scale}, seed={seed}, "
-        f"wall time {elapsed:.1f}s"
+        f"wall time {result.elapsed:.1f}s"
     )
     if verbose:
         print(result.render(), file=stream)

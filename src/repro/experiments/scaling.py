@@ -8,25 +8,27 @@ sampling pipeline while doubling each factor and reports the ratios
 
 from __future__ import annotations
 
-import time
-
 from repro.core import DensityBiasedSampler
 from repro.datasets import make_clustered_dataset
 from repro.density import KernelDensityEstimator
 from repro.experiments._common import scaled
 from repro.experiments.registry import experiment
 from repro.experiments.reporting import ExperimentResult
+from repro.obs import Stopwatch
 
 __all__ = ["run"]
 
 
 def _sampling_time(points, n_kernels: int, seed: int) -> float:
-    start = time.perf_counter()
-    estimator = KernelDensityEstimator(n_kernels=n_kernels, random_state=seed)
-    DensityBiasedSampler(
-        sample_size=500, exponent=1.0, estimator=estimator, random_state=seed
-    ).sample(points)
-    return time.perf_counter() - start
+    with Stopwatch() as watch:
+        estimator = KernelDensityEstimator(
+            n_kernels=n_kernels, random_state=seed
+        )
+        DensityBiasedSampler(
+            sample_size=500, exponent=1.0, estimator=estimator,
+            random_state=seed,
+        ).sample(points)
+    return watch.elapsed
 
 
 @experiment(

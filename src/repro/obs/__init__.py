@@ -1,0 +1,50 @@
+"""repro.obs: metrics, phase tracing and run manifests.
+
+Zero-dependency observability for the sampling->mining pipeline. Three
+pieces:
+
+* :class:`Recorder` — named counters (``data_passes``, ``points_seen``,
+  ``kernel_evals``, ``distance_evals``, ``sample_size``,
+  ``heap_pushes``, ...) plus a nested tree of timed phase spans.
+* :func:`get_recorder` / :func:`use_recorder` / :func:`recording` —
+  context-variable plumbing installing a recorder for a block of code;
+  the default is a no-op recorder, so instrumentation is free when
+  observability is off.
+* :class:`RunManifest` — a JSON-lines-serialisable record of one run
+  (seed, parameters, versions, platform, all recorded metrics).
+
+Enable from code::
+
+    from repro.obs import recording
+
+    with recording() as rec:
+        ApproximateClusteringPipeline(n_clusters=5).fit(data)
+    print(rec.counters["data_passes"])        # 4
+
+or from the CLI: ``repro run fig4 --trace --metrics-out metrics.jsonl``.
+"""
+
+from repro.obs.manifest import RunManifest, collect_environment
+from repro.obs.recorder import (
+    NULL_RECORDER,
+    Recorder,
+    Span,
+    Stopwatch,
+    format_spans,
+    get_recorder,
+    recording,
+    use_recorder,
+)
+
+__all__ = [
+    "NULL_RECORDER",
+    "Recorder",
+    "RunManifest",
+    "Span",
+    "Stopwatch",
+    "collect_environment",
+    "format_spans",
+    "get_recorder",
+    "recording",
+    "use_recorder",
+]

@@ -1,0 +1,199 @@
+"""Run manifests: one JSON-lines record per run, with all metrics.
+
+A :class:`RunManifest` captures everything needed to interpret (and
+re-run) one experiment or pipeline execution: the run name, the seed and
+parameters, package/platform versions, and the recorder's counters,
+timers and span tree. Manifests serialise to a single JSON line so a
+file of them is an append-only log that trivially concatenates across
+runs and machines; :meth:`RunManifest.emit` writes that line to stderr,
+a path, an open stream, or hands the dict to a callable sink.
+
+No wall-clock timestamp is recorded: manifests are deliberately a pure
+function of (code, parameters, seed) plus wall-time measurements, so two
+runs of the same configuration produce manifests whose *counters*
+compare equal — the determinism contract the tests pin.
+"""
+
+from __future__ import annotations
+
+import json
+import platform as _platform
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import IO, Callable, Union
+
+from repro.obs.recorder import Recorder
+
+__all__ = [
+    "RunManifest",
+    "collect_environment",
+]
+
+#: Accepted ``emit`` sinks: None (stderr), a path, an open text stream,
+#: or a callable receiving the manifest dictionary.
+ManifestSink = Union[None, str, Path, IO[str], Callable[[dict], object]]
+
+
+def collect_environment() -> dict:
+    """Interpreter, platform and package versions for provenance.
+
+    >>> env = collect_environment()
+    >>> sorted(env) == ['numpy', 'platform', 'python', 'repro']
+    True
+    """
+    try:
+        import numpy
+
+        numpy_version = numpy.__version__
+    except ImportError:  # pragma: no cover - numpy is a hard dependency
+        numpy_version = None
+    repro = sys.modules.get("repro")
+    return {
+        "python": _platform.python_version(),
+        "platform": _platform.platform(),
+        "numpy": numpy_version,
+        "repro": getattr(repro, "__version__", None),
+    }
+
+
+@dataclass
+class RunManifest:
+    """Structured record of one observed run.
+
+    Attributes
+    ----------
+    name:
+        Run identifier (experiment id, pipeline name, bench id, ...).
+    seed:
+        Base random seed of the run (``None`` when not applicable).
+    params:
+        Run parameters beyond the seed (scale, sample size, ...).
+    environment:
+        Versions and platform, from :func:`collect_environment`.
+    counters:
+        Final counter totals from the recorder.
+    timers:
+        Total elapsed seconds per span name.
+    spans:
+        Nested span tree (list of ``Span.to_dict`` dictionaries).
+    """
+
+    name: str
+    seed: int | None = None
+    params: dict = field(default_factory=dict)
+    environment: dict = field(default_factory=collect_environment)
+    counters: dict = field(default_factory=dict)
+    timers: dict = field(default_factory=dict)
+    spans: list = field(default_factory=list)
+
+    @classmethod
+    def from_recorder(
+        cls,
+        recorder: Recorder,
+        name: str,
+        seed: int | None = None,
+        params: dict | None = None,
+    ) -> "RunManifest":
+        """Build a manifest from a recorder's current state.
+
+        Parameters
+        ----------
+        recorder:
+            The recorder whose counters/timers/spans to capture.
+        name:
+            Run identifier stored in the manifest.
+        seed:
+            Base random seed of the run.
+        params:
+            Extra run parameters worth preserving.
+        """
+        snap = recorder.snapshot()
+        return cls(
+            name=name,
+            seed=seed,
+            params=dict(params or {}),
+            counters=snap["counters"],
+            timers=snap["timers"],
+            spans=snap["spans"],
+        )
+
+    @property
+    def elapsed(self) -> float | None:
+        """Wall seconds of the root span (``None`` without spans)."""
+        if not self.spans:
+            return None
+        return float(sum(span["elapsed_s"] for span in self.spans))
+
+    # -- serialisation -------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Plain-dict form (inverse of :meth:`from_dict`)."""
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "params": dict(self.params),
+            "environment": dict(self.environment),
+            "counters": dict(self.counters),
+            "timers": dict(self.timers),
+            "spans": list(self.spans),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunManifest":
+        """Rebuild a manifest from :meth:`to_dict` output.
+
+        Parameters
+        ----------
+        data:
+            Dictionary in the :meth:`to_dict` schema.
+        """
+        return cls(
+            name=data["name"],
+            seed=data.get("seed"),
+            params=dict(data.get("params", {})),
+            environment=dict(data.get("environment", {})),
+            counters=dict(data.get("counters", {})),
+            timers=dict(data.get("timers", {})),
+            spans=list(data.get("spans", [])),
+        )
+
+    def to_json(self) -> str:
+        """One JSON line (no internal newlines), ready for a .jsonl file."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, line: str) -> "RunManifest":
+        """Parse one JSON line produced by :meth:`to_json`.
+
+        Parameters
+        ----------
+        line:
+            The JSON document to parse.
+        """
+        return cls.from_dict(json.loads(line))
+
+    # -- sinks ---------------------------------------------------------------
+
+    def emit(self, sink: ManifestSink = None) -> None:
+        """Write this manifest to ``sink`` as one JSON line.
+
+        Parameters
+        ----------
+        sink:
+            ``None`` writes to stderr; a string or :class:`~pathlib.Path`
+            appends to that file (created if missing); an object with a
+            ``write`` method receives the line; any other callable is
+            invoked with the manifest dictionary.
+        """
+        if callable(getattr(sink, "write", None)):
+            sink.write(self.to_json() + "\n")
+            return
+        if callable(sink):
+            sink(self.to_dict())
+            return
+        if sink is None:
+            sys.stderr.write(self.to_json() + "\n")
+            return
+        with open(sink, "a", encoding="utf-8") as handle:
+            handle.write(self.to_json() + "\n")

@@ -1,0 +1,293 @@
+"""Counters, timers and phase spans for the sampling->mining pipeline.
+
+The paper's efficiency claims are resource claims — one dataset pass to
+fit the estimator, an expected sample size ``b``, runtime competitive
+with uniform sampling — and this module turns those resources into
+observable quantities. A :class:`Recorder` holds named **counters**
+(``data_passes``, ``points_seen``, ``kernel_evals``, ``distance_evals``,
+``sample_size``, ``heap_pushes``, ...) and a tree of timed **spans**
+opened with :meth:`Recorder.phase`; library hot paths report into
+whatever recorder is currently installed via :func:`get_recorder`.
+
+Observability is off by default: the ambient recorder is a no-op
+singleton (:data:`NULL_RECORDER`) whose ``count``/``phase`` do nothing,
+so instrumentation costs one context-variable read per call site when
+disabled. Install a live recorder for a block of code with
+:func:`use_recorder` (or the :func:`recording` shorthand); the context
+variable keeps concurrently running recorders isolated per thread and
+per async task.
+
+Counter values are pure functions of the algorithm and its seed, so two
+runs with identical parameters record identical counters — timers, of
+course, are wall-clock and vary.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Iterator
+
+__all__ = [
+    "NULL_RECORDER",
+    "Recorder",
+    "Span",
+    "Stopwatch",
+    "format_spans",
+    "get_recorder",
+    "recording",
+    "use_recorder",
+]
+
+
+class Span:
+    """One timed phase: name, elapsed seconds, counter deltas, children.
+
+    Spans nest — entering ``phase("draw")`` inside ``phase("sample")``
+    attaches the draw span as a child of the sample span — and each span
+    records the *delta* of every counter that changed while it was open,
+    so per-phase costs can be read directly off the tree.
+    """
+
+    __slots__ = ("name", "elapsed", "counters", "children", "_t0", "_enter")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.elapsed: float = 0.0
+        self.counters: dict[str, float] = {}
+        self.children: list[Span] = []
+        self._t0: float = 0.0
+        self._enter: dict[str, float] = {}
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable nested representation."""
+        return {
+            "name": self.name,
+            "elapsed_s": self.elapsed,
+            "counters": dict(self.counters),
+            "children": [child.to_dict() for child in self.children],
+        }
+
+
+class Recorder:
+    """Collects named counters and a nested span tree for one run.
+
+    Examples
+    --------
+    >>> rec = Recorder()
+    >>> with rec.phase("fit_density"):
+    ...     rec.count("kernel_evals", 1000)
+    >>> rec.counters["kernel_evals"]
+    1000
+    >>> rec.spans[0].name
+    'fit_density'
+    """
+
+    enabled: bool = True
+
+    def __init__(self) -> None:
+        self.counters: dict[str, float] = {}
+        self.spans: list[Span] = []
+        self._stack: list[Span] = []
+
+    # -- counters ------------------------------------------------------------
+
+    def count(self, name: str, n: float = 1) -> None:
+        """Add ``n`` to counter ``name`` (created at zero on first use)."""
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    # -- spans ---------------------------------------------------------------
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[Span]:
+        """Open a timed span; nested calls build a tree."""
+        span = Span(name)
+        span._enter = dict(self.counters)
+        self._stack.append(span)
+        span._t0 = time.perf_counter()
+        try:
+            yield span
+        finally:
+            span.elapsed = time.perf_counter() - span._t0
+            span.counters = {
+                key: value - span._enter.get(key, 0)
+                for key, value in self.counters.items()
+                if value != span._enter.get(key, 0)
+            }
+            span._enter = {}
+            self._stack.pop()
+            if self._stack:
+                self._stack[-1].children.append(span)
+            else:
+                self.spans.append(span)
+
+    @property
+    def timers(self) -> dict[str, float]:
+        """Total elapsed seconds per span name, aggregated over the tree."""
+        totals: dict[str, float] = {}
+        stack = list(self.spans)
+        while stack:
+            span = stack.pop()
+            totals[span.name] = totals.get(span.name, 0.0) + span.elapsed
+            stack.extend(span.children)
+        return totals
+
+    # -- export --------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Counters, aggregated timers and the span tree as plain dicts."""
+        return {
+            "counters": dict(self.counters),
+            "timers": self.timers,
+            "spans": [span.to_dict() for span in self.spans],
+        }
+
+
+class _NullSpan:
+    """Reusable no-op context manager returned by the null recorder."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullRecorder(Recorder):
+    """Disabled recorder: every operation is a no-op.
+
+    The module-level default, so instrumented library code pays one
+    attribute call and nothing else when observability is off. It never
+    accumulates state — ``counters`` and ``spans`` stay empty.
+    """
+
+    enabled = False
+
+    def count(self, name: str, n: float = 1) -> None:
+        return None
+
+    def phase(self, name: str) -> _NullSpan:  # type: ignore[override]
+        return _NULL_SPAN
+
+    def snapshot(self) -> dict:
+        return {"counters": {}, "timers": {}, "spans": []}
+
+
+#: The shared disabled recorder installed by default.
+NULL_RECORDER = NullRecorder()
+
+_RECORDER: ContextVar[Recorder] = ContextVar(
+    "repro_obs_recorder", default=NULL_RECORDER
+)
+
+
+def get_recorder() -> Recorder:
+    """The recorder currently installed for this thread/task.
+
+    Returns :data:`NULL_RECORDER` (all operations no-ops) unless a
+    recorder was installed with :func:`use_recorder` or
+    :func:`recording`.
+    """
+    return _RECORDER.get()
+
+
+@contextmanager
+def use_recorder(recorder: Recorder) -> Iterator[Recorder]:
+    """Install ``recorder`` as the ambient recorder for a ``with`` block.
+
+    Built on a context variable, so concurrent threads and async tasks
+    that install their own recorders never observe each other's counts.
+
+    Parameters
+    ----------
+    recorder:
+        The recorder library code should report into inside the block.
+    """
+    token = _RECORDER.set(recorder)
+    try:
+        yield recorder
+    finally:
+        _RECORDER.reset(token)
+
+
+@contextmanager
+def recording() -> Iterator[Recorder]:
+    """Create a fresh :class:`Recorder` and install it for the block.
+
+    Examples
+    --------
+    >>> from repro.obs import recording
+    >>> with recording() as rec:
+    ...     rec.count("sample_size", 3)
+    >>> rec.counters
+    {'sample_size': 3}
+    """
+    with use_recorder(Recorder()) as recorder:
+        yield recorder
+
+
+class Stopwatch:
+    """Minimal elapsed-wall-time context manager.
+
+    The sanctioned way for library code to measure a duration without
+    opening a recorder span (experiments report raw seconds in their
+    tables). ``elapsed`` is valid after the block exits.
+
+    Examples
+    --------
+    >>> with Stopwatch() as watch:
+    ...     pass
+    >>> watch.elapsed >= 0.0
+    True
+    """
+
+    __slots__ = ("elapsed", "_t0")
+
+    def __init__(self) -> None:
+        self.elapsed: float = 0.0
+        self._t0: float = 0.0
+
+    def __enter__(self) -> "Stopwatch":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.elapsed = time.perf_counter() - self._t0
+
+
+def format_spans(spans: list[dict], indent: int = 0) -> str:
+    """Render a span tree (``Span.to_dict`` form) as an indented text tree.
+
+    Parameters
+    ----------
+    spans:
+        List of nested span dictionaries, as produced by
+        :meth:`Span.to_dict` / :meth:`Recorder.snapshot`.
+    indent:
+        Current indentation level (used by the recursion).
+    """
+    lines = []
+    for span in spans:
+        counters = " ".join(
+            f"{key}={_fmt_count(value)}"
+            for key, value in sorted(span.get("counters", {}).items())
+        )
+        pad = "  " * indent
+        head = f"{pad}{span['name']:<{max(1, 28 - len(pad))}} {span['elapsed_s']:8.3f}s"
+        lines.append(f"{head}  {counters}".rstrip())
+        child_text = format_spans(span.get("children", []), indent + 1)
+        if child_text:
+            lines.append(child_text)
+    return "\n".join(lines)
+
+
+def _fmt_count(value: float) -> str:
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return str(value)

@@ -23,6 +23,7 @@ import numpy as np
 from repro.density.base import DensityEstimator
 from repro.density.kde import KernelDensityEstimator
 from repro.exceptions import ParameterError
+from repro.obs import get_recorder
 from repro.outliers.base import OutlierDetector, OutlierResult, resolve_p
 from repro.utils.geometry import ball_volume, sq_distances_to
 from repro.utils.streams import DataStream, as_stream
@@ -110,11 +111,15 @@ class ApproximateOutlierDetector(OutlierDetector):
     def detect(self, data, *, stream: DataStream | None = None) -> OutlierResult:
         """Find all DB(p, k) outliers: screen, then verify exactly."""
         source = stream if stream is not None else as_stream(data)
-        estimator = self._resolve_estimator(source)
+        recorder = get_recorder()
+        with recorder.phase("fit_density"):
+            estimator = self._resolve_estimator(source)
         p = resolve_p(self.p, self.fraction, len(source))
 
-        candidate_idx, candidate_pts = self._screen(source, estimator, p)
-        counts = self._verify(source, candidate_pts)
+        with recorder.phase("screen"):
+            candidate_idx, candidate_pts = self._screen(source, estimator, p)
+        with recorder.phase("verify"):
+            counts = self._verify(source, candidate_pts)
         keep = counts <= p
         return OutlierResult(
             indices=candidate_idx[keep],
@@ -178,6 +183,7 @@ class ApproximateOutlierDetector(OutlierDetector):
         """
         import heapq
 
+        recorder = get_recorder()
         threshold = self.slack * (p + 1)
         quota = int(np.ceil(self.candidate_quantile * len(source)))
         below: dict[int, np.ndarray] = {}
@@ -192,8 +198,10 @@ class ApproximateOutlierDetector(OutlierDetector):
                     entry = (-float(value), start + local, chunk[local])
                     if len(sparsest) < quota:
                         heapq.heappush(sparsest, entry)
+                        recorder.count("heap_pushes")
                     elif value < -sparsest[0][0]:
                         heapq.heapreplace(sparsest, entry)
+                        recorder.count("heap_pushes")
         for _, idx, point in sparsest:
             below.setdefault(idx, point)
         if not below:
@@ -209,8 +217,12 @@ class ApproximateOutlierDetector(OutlierDetector):
         counts = np.zeros(candidates.shape[0], dtype=np.int64)
         if candidates.shape[0] == 0:
             return counts
+        recorder = get_recorder()
         k_sq = self.k * self.k
         for chunk in source:
+            recorder.count(
+                "distance_evals", candidates.shape[0] * chunk.shape[0]
+            )
             d = sq_distances_to(candidates, chunk)
             counts += (d <= k_sq).sum(axis=1)
         # A candidate is its own zero-distance neighbour in the scan.

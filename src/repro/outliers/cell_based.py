@@ -25,6 +25,7 @@ import math
 import numpy as np
 
 from repro.exceptions import ParameterError
+from repro.obs import get_recorder
 from repro.outliers.base import OutlierDetector, OutlierResult, resolve_p
 from repro.utils.geometry import sq_distances_to
 from repro.utils.streams import DataStream, as_stream
@@ -147,6 +148,7 @@ class CellBasedOutlierDetector(OutlierDetector):
     ) -> int:
         if not candidate_rows:
             return 0
+        get_recorder().count("distance_evals", len(candidate_rows))
         d = sq_distances_to(pts[row][None, :], pts[candidate_rows])
         return int((d <= k_sq).sum())
 

@@ -17,6 +17,7 @@ import numpy as np
 from scipy.spatial import cKDTree
 
 from repro.exceptions import ParameterError
+from repro.obs import get_recorder
 from repro.outliers.base import OutlierDetector, OutlierResult, resolve_p
 from repro.utils.geometry import sq_distances_to
 from repro.utils.streams import DataStream, as_stream
@@ -75,6 +76,9 @@ class NestedLoopOutlierDetector(OutlierDetector):
                 continue
             for b_start in range(0, n, self.block_size):
                 b_stop = min(b_start + self.block_size, n)
+                get_recorder().count(
+                    "distance_evals", open_rows.size * (b_stop - b_start)
+                )
                 d = sq_distances_to(pts[open_rows], pts[b_start:b_stop])
                 within = (d <= k_sq).sum(axis=1)
                 # Points do not count themselves as neighbours.

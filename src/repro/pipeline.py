@@ -23,6 +23,7 @@ from repro.clustering.cure import CureClustering
 from repro.core.biased import BiasedSample
 from repro.core.guide import recommend_settings
 from repro.exceptions import ParameterError
+from repro.obs import Recorder, get_recorder, use_recorder
 from repro.utils.streams import DataStream, as_stream
 
 __all__ = [
@@ -114,10 +115,34 @@ class ApproximateClusteringPipeline:
         self.random_state = random_state
 
     def fit(self, data, *, stream: DataStream | None = None) -> PipelineResult:
-        """Run the full pipeline over ``data`` (or an explicit stream)."""
-        source = stream if stream is not None else as_stream(data)
-        passes_before = source.passes
+        """Run the full pipeline over ``data`` (or an explicit stream).
 
+        Dataset passes are counted by the ambient :mod:`repro.obs`
+        recorder; when observability is off, a private recorder is
+        installed for the duration of the fit so
+        :attr:`PipelineResult.n_passes` is still exact.
+        """
+        source = stream if stream is not None else as_stream(data)
+        recorder = get_recorder()
+        if not recorder.enabled:
+            recorder = Recorder()
+        with use_recorder(recorder):
+            passes_before = recorder.counters.get("data_passes", 0)
+            with recorder.phase("pipeline_fit"):
+                result = self._fit(source)
+            n_passes = int(
+                recorder.counters.get("data_passes", 0) - passes_before
+            )
+        return PipelineResult(
+            labels=result[0],
+            clustering=result[1],
+            sample=result[2],
+            n_passes=n_passes,
+        )
+
+    def _fit(self, source: DataStream):
+        """The three pipeline stages; returns (labels, clustering, sample)."""
+        recorder = get_recorder()
         sampler = self.sampler
         if sampler is None:
             recommendation = recommend_settings(
@@ -130,7 +155,8 @@ class ApproximateClusteringPipeline:
             # inputs keep enough points per cluster to be clusterable.
             floor = min(40 * self.n_clusters, len(source) // 2)
             sampler.sample_size = max(sampler.sample_size, floor)
-        sample = sampler.sample(None, stream=source)
+        with recorder.phase("sample"):
+            sample = sampler.sample(None, stream=source)
         if len(sample) <= self.n_clusters:
             raise ParameterError(
                 f"the sample holds only {len(sample)} points for "
@@ -144,21 +170,18 @@ class ApproximateClusteringPipeline:
             clusterer = CureClustering(
                 n_clusters=min(self.n_clusters + 3, len(sample) - 1)
             )
-        clustering = clusterer.fit(sample.points)
-        clustering = _keep_largest(clustering, self.n_clusters)
+        with recorder.phase("cluster"):
+            clustering = clusterer.fit(sample.points)
+            clustering = _keep_largest(clustering, self.n_clusters)
 
-        labels = assign_to_clusters(
-            None,
-            clustering,
-            policy=self.assignment_policy,
-            stream=source,
-        )
-        return PipelineResult(
-            labels=labels,
-            clustering=clustering,
-            sample=sample,
-            n_passes=source.passes - passes_before,
-        )
+        with recorder.phase("assign"):
+            labels = assign_to_clusters(
+                None,
+                clustering,
+                policy=self.assignment_policy,
+                stream=source,
+            )
+        return labels, clustering, sample
 
 
 def _keep_largest(

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from typing import Hashable
 
+from repro.obs import get_recorder
+
 __all__ = ["IndexedMinHeap"]
 
 
@@ -38,6 +40,7 @@ class IndexedMinHeap:
 
     def push(self, item: Hashable, key: float) -> None:
         """Insert ``item`` with ``key``, or update its key if present."""
+        get_recorder().count("heap_pushes")
         if item in self._pos:
             self.update(item, key)
             return

@@ -15,6 +15,7 @@ from typing import Iterator
 import numpy as np
 
 from repro.exceptions import DataValidationError
+from repro.obs import get_recorder
 from repro.utils.validation import check_array
 
 __all__ = [
@@ -53,8 +54,12 @@ class DataStream:
 
     def __iter__(self) -> Iterator[np.ndarray]:
         self.passes += 1
+        recorder = get_recorder()
+        recorder.count("data_passes")
         for start in range(0, self.n_points, self.chunk_size):
-            yield self._data[start : start + self.chunk_size]
+            chunk = self._data[start : start + self.chunk_size]
+            recorder.count("points_seen", chunk.shape[0])
+            yield chunk
 
     def __len__(self) -> int:
         return self.n_points
@@ -62,12 +67,19 @@ class DataStream:
     def iter_with_offsets(self) -> Iterator[tuple[int, np.ndarray]]:
         """Like ``__iter__`` but also yields the row offset of each chunk."""
         self.passes += 1
+        recorder = get_recorder()
+        recorder.count("data_passes")
         for start in range(0, self.n_points, self.chunk_size):
-            yield start, self._data[start : start + self.chunk_size]
+            chunk = self._data[start : start + self.chunk_size]
+            recorder.count("points_seen", chunk.shape[0])
+            yield start, chunk
 
     def materialize(self) -> np.ndarray:
         """Return the full dataset as one array (counts as one pass)."""
         self.passes += 1
+        recorder = get_recorder()
+        recorder.count("data_passes")
+        recorder.count("points_seen", self.n_points)
         return self._data
 
 

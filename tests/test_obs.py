@@ -1,0 +1,379 @@
+"""Tests for repro.obs: recorders, spans, manifests and instrumentation."""
+
+import json
+import threading
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import ApproximateClusteringPipeline
+from repro.core import DensityBiasedSampler
+from repro.obs import (
+    NULL_RECORDER,
+    Recorder,
+    RunManifest,
+    Stopwatch,
+    collect_environment,
+    format_spans,
+    get_recorder,
+    recording,
+    use_recorder,
+)
+
+
+@pytest.fixture
+def blobs():
+    rng = np.random.default_rng(0)
+    return np.vstack(
+        [rng.normal(c, 0.05, (1500, 2)) for c in ((0, 0), (1, 1))]
+    )
+
+
+# ---------------------------------------------------------------------------
+# Recorder and spans
+# ---------------------------------------------------------------------------
+
+
+class TestRecorder:
+    def test_counters_accumulate(self):
+        rec = Recorder()
+        rec.count("kernel_evals", 10)
+        rec.count("kernel_evals", 5)
+        rec.count("data_passes")
+        assert rec.counters == {"kernel_evals": 15, "data_passes": 1}
+
+    def test_phase_records_counter_deltas(self):
+        rec = Recorder()
+        rec.count("kernel_evals", 100)
+        with rec.phase("fit"):
+            rec.count("kernel_evals", 7)
+            rec.count("data_passes")
+        assert rec.spans[0].counters == {"kernel_evals": 7, "data_passes": 1}
+        # Totals are unaffected by span bookkeeping.
+        assert rec.counters["kernel_evals"] == 107
+
+    def test_nested_phases_build_tree(self):
+        rec = Recorder()
+        with rec.phase("outer"):
+            with rec.phase("inner_a"):
+                rec.count("x", 1)
+            with rec.phase("inner_b"):
+                rec.count("x", 2)
+        (outer,) = rec.spans
+        assert [c.name for c in outer.children] == ["inner_a", "inner_b"]
+        assert outer.counters == {"x": 3}
+        assert outer.children[0].counters == {"x": 1}
+        assert outer.children[1].counters == {"x": 2}
+
+    def test_unchanged_counters_not_in_span_delta(self):
+        rec = Recorder()
+        rec.count("before", 3)
+        with rec.phase("quiet"):
+            pass
+        assert rec.spans[0].counters == {}
+
+    def test_timers_aggregate_by_name(self):
+        rec = Recorder()
+        with rec.phase("a"):
+            with rec.phase("b"):
+                pass
+        with rec.phase("b"):
+            pass
+        timers = rec.timers
+        assert set(timers) == {"a", "b"}
+        assert all(v >= 0.0 for v in timers.values())
+
+    def test_phase_closes_on_exception(self):
+        rec = Recorder()
+        with pytest.raises(ValueError):
+            with rec.phase("boom"):
+                rec.count("x")
+                raise ValueError("boom")
+        assert rec._stack == []
+        assert rec.spans[0].counters == {"x": 1}
+
+    def test_snapshot_shape(self):
+        rec = Recorder()
+        with rec.phase("p"):
+            rec.count("n", 2)
+        snap = rec.snapshot()
+        assert set(snap) == {"counters", "timers", "spans"}
+        assert snap["spans"][0]["name"] == "p"
+        assert snap["spans"][0]["counters"] == {"n": 2}
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["kernel_evals", "distance_evals", "x"]),
+                st.integers(min_value=0, max_value=1000),
+            ),
+            max_size=30,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_root_span_delta_equals_totals(self, increments):
+        """Counts made anywhere under one root span sum into its delta."""
+        rec = Recorder()
+        with rec.phase("root"):
+            for depth, (name, n) in enumerate(increments):
+                if depth % 3 == 0:
+                    with rec.phase("child"):
+                        rec.count(name, n)
+                else:
+                    rec.count(name, n)
+        totals = {}
+        for name, n in increments:
+            totals[name] = totals.get(name, 0) + n
+        # Touched counters exist even at zero; span deltas drop zeros.
+        assert rec.counters == totals
+        assert rec.spans[0].counters == {
+            k: v for k, v in totals.items() if v != 0
+        }
+
+
+class TestNullRecorder:
+    def test_disabled_recorder_accumulates_nothing(self):
+        assert NULL_RECORDER.enabled is False
+        NULL_RECORDER.count("kernel_evals", 10)
+        with NULL_RECORDER.phase("fit"):
+            NULL_RECORDER.count("data_passes")
+        assert NULL_RECORDER.counters == {}
+        assert NULL_RECORDER.spans == []
+        assert NULL_RECORDER.snapshot() == {
+            "counters": {},
+            "timers": {},
+            "spans": [],
+        }
+
+
+class TestAmbientRecorder:
+    def test_default_is_null(self):
+        assert get_recorder() is NULL_RECORDER
+
+    def test_use_recorder_installs_and_restores(self):
+        rec = Recorder()
+        with use_recorder(rec) as installed:
+            assert installed is rec
+            assert get_recorder() is rec
+        assert get_recorder() is NULL_RECORDER
+
+    def test_recording_shorthand(self):
+        with recording() as rec:
+            get_recorder().count("x", 2)
+        assert rec.counters == {"x": 2}
+
+    def test_nested_recorders_restore_outer(self):
+        outer, inner = Recorder(), Recorder()
+        with use_recorder(outer):
+            outer_seen = get_recorder()
+            with use_recorder(inner):
+                get_recorder().count("x")
+            assert get_recorder() is outer_seen
+        assert inner.counters == {"x": 1}
+        assert outer.counters == {}
+
+    def test_threads_are_isolated(self):
+        """Two threads with their own recorders never see each other."""
+        results = {}
+        barrier = threading.Barrier(2)
+
+        def work(tag, n):
+            rec = Recorder()
+            with use_recorder(rec):
+                barrier.wait()  # both threads inside use_recorder at once
+                for _ in range(n):
+                    get_recorder().count(tag)
+                barrier.wait()
+            results[tag] = dict(rec.counters)
+
+        threads = [
+            threading.Thread(target=work, args=("a", 11)),
+            threading.Thread(target=work, args=("b", 7)),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert results == {"a": {"a": 11}, "b": {"b": 7}}
+        assert get_recorder() is NULL_RECORDER
+
+
+class TestStopwatch:
+    def test_measures_nonnegative_elapsed(self):
+        with Stopwatch() as watch:
+            sum(range(100))
+        assert watch.elapsed >= 0.0
+
+
+class TestFormatSpans:
+    def test_renders_nested_tree(self):
+        rec = Recorder()
+        with rec.phase("outer"):
+            with rec.phase("inner"):
+                rec.count("kernel_evals", 5)
+        text = format_spans(rec.snapshot()["spans"])
+        lines = text.splitlines()
+        assert lines[0].startswith("outer")
+        assert lines[1].startswith("  inner")
+        assert "kernel_evals=5" in lines[1]
+
+
+# ---------------------------------------------------------------------------
+# Manifests
+# ---------------------------------------------------------------------------
+
+
+json_values = st.one_of(
+    st.integers(min_value=-(10**6), max_value=10**6),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(max_size=20),
+    st.booleans(),
+    st.none(),
+)
+
+
+class TestRunManifest:
+    def test_from_recorder_captures_state(self):
+        rec = Recorder()
+        with rec.phase("run"):
+            rec.count("sample_size", 42)
+        manifest = RunManifest.from_recorder(
+            rec, name="fig4", seed=3, params={"scale": 0.5}
+        )
+        assert manifest.name == "fig4"
+        assert manifest.seed == 3
+        assert manifest.counters == {"sample_size": 42}
+        assert manifest.spans[0]["name"] == "run"
+        assert manifest.elapsed == pytest.approx(
+            manifest.spans[0]["elapsed_s"]
+        )
+
+    def test_elapsed_none_without_spans(self):
+        assert RunManifest(name="empty").elapsed is None
+
+    def test_environment_collected_by_default(self):
+        env = RunManifest(name="x").environment
+        assert sorted(env) == ["numpy", "platform", "python", "repro"]
+        assert env["python"] == collect_environment()["python"]
+
+    @given(
+        name=st.text(min_size=1, max_size=20),
+        seed=st.one_of(st.none(), st.integers(0, 2**31 - 1)),
+        params=st.dictionaries(st.text(max_size=10), json_values, max_size=5),
+        counters=st.dictionaries(
+            st.text(min_size=1, max_size=10),
+            st.integers(min_value=0, max_value=10**9),
+            max_size=5,
+        ),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_json_round_trip(self, name, seed, params, counters):
+        manifest = RunManifest(
+            name=name, seed=seed, params=params, counters=counters
+        )
+        line = manifest.to_json()
+        assert "\n" not in line
+        back = RunManifest.from_json(line)
+        assert back == manifest
+
+    def test_emit_to_path_appends_json_lines(self, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        RunManifest(name="a", counters={"data_passes": 1}).emit(path)
+        RunManifest(name="b").emit(str(path))
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[0])["name"] == "a"
+        assert json.loads(lines[1])["name"] == "b"
+
+    def test_emit_to_stream(self):
+        import io
+
+        buffer = io.StringIO()
+        RunManifest(name="x").emit(buffer)
+        assert json.loads(buffer.getvalue())["name"] == "x"
+
+    def test_emit_to_callable(self):
+        received = []
+        RunManifest(name="x", seed=9).emit(received.append)
+        assert received[0]["seed"] == 9
+
+    def test_emit_default_writes_stderr(self, capsys):
+        RunManifest(name="x").emit()
+        err = capsys.readouterr().err
+        assert json.loads(err)["name"] == "x"
+
+
+# ---------------------------------------------------------------------------
+# Instrumentation through the library
+# ---------------------------------------------------------------------------
+
+
+class TestCounterDeterminism:
+    def test_same_seed_identical_counters(self, blobs):
+        def run():
+            with recording() as rec:
+                DensityBiasedSampler(
+                    sample_size=100, exponent=0.5, random_state=7
+                ).sample(blobs)
+            return dict(rec.counters)
+
+        assert run() == run()
+
+    def test_sampler_records_expected_counters(self, blobs):
+        with recording() as rec:
+            sample = DensityBiasedSampler(
+                sample_size=100, exponent=0.5, random_state=7
+            ).sample(blobs)
+        assert rec.counters["sample_size"] == len(sample)
+        assert rec.counters["data_passes"] >= 2  # fit pass + eval pass
+        assert rec.counters["kernel_evals"] > 0
+        assert [s.name for s in rec.spans] == [
+            "fit_density", "eval_density", "draw",
+        ]
+
+    def test_results_identical_with_and_without_recording(self, blobs):
+        sampler_kwargs = dict(sample_size=100, exponent=0.5, random_state=7)
+        plain = DensityBiasedSampler(**sampler_kwargs).sample(blobs)
+        with recording():
+            observed = DensityBiasedSampler(**sampler_kwargs).sample(blobs)
+        np.testing.assert_array_equal(plain.indices, observed.indices)
+        np.testing.assert_array_equal(plain.points, observed.points)
+        np.testing.assert_array_equal(
+            plain.probabilities, observed.probabilities
+        )
+
+
+class TestPipelineIntegration:
+    def test_fit_reports_documented_data_passes(self, blobs):
+        """Pins the paper's pass accounting: the default pipeline costs
+        exactly 4 dataset passes (estimator fit, normaliser, sample
+        gather, label assignment)."""
+        with recording() as rec:
+            result = ApproximateClusteringPipeline(
+                n_clusters=2, random_state=0
+            ).fit(blobs)
+        assert rec.counters["data_passes"] == 4
+        assert result.n_passes == 4
+
+    def test_fit_span_tree_without_ambient_recorder(self, blobs):
+        """n_passes is derived from a private recorder when none is
+        installed, without leaking state into the null recorder."""
+        result = ApproximateClusteringPipeline(
+            n_clusters=2, random_state=0
+        ).fit(blobs)
+        assert result.n_passes == 4
+        assert NULL_RECORDER.counters == {}
+
+    def test_fit_records_phase_tree(self, blobs):
+        with recording() as rec:
+            ApproximateClusteringPipeline(
+                n_clusters=2, random_state=0
+            ).fit(blobs)
+        (root,) = rec.spans
+        assert root.name == "pipeline_fit"
+        names = [child.name for child in root.children]
+        assert names == ["sample", "cluster", "assign"]
+        assert rec.counters["points_seen"] >= blobs.shape[0]
+        assert rec.counters["distance_evals"] > 0

@@ -691,6 +691,129 @@ class TestRL006:
 
 
 # ---------------------------------------------------------------------------
+# RL007 — observability discipline (no bare print / time.time)
+# ---------------------------------------------------------------------------
+
+
+class TestRL007:
+    def test_bare_print_flagged(self, tmp_path):
+        found = lint_snippet(
+            tmp_path,
+            """
+            def f(x):
+                print("progress:", x)
+                return x
+            """,
+            select=["RL007"],
+        )
+        assert codes(found) == ["RL007"]
+        assert "bare print()" in found[0].message
+
+    def test_print_with_explicit_file_clean(self, tmp_path):
+        found = lint_snippet(
+            tmp_path,
+            """
+            import sys
+
+            def f(x, stream=None):
+                print(x, file=stream or sys.stderr)
+            """,
+            select=["RL007"],
+        )
+        assert found == []
+
+    def test_time_time_call_flagged(self, tmp_path):
+        found = lint_snippet(
+            tmp_path,
+            """
+            import time
+
+            def f():
+                return time.time()
+            """,
+            select=["RL007"],
+        )
+        assert codes(found) == ["RL007"]
+        assert "time.time()" in found[0].message
+
+    def test_time_import_alias_flagged(self, tmp_path):
+        found = lint_snippet(
+            tmp_path,
+            """
+            import time as clock
+
+            def f():
+                return clock.time()
+            """,
+            select=["RL007"],
+        )
+        assert codes(found) == ["RL007"]
+
+    def test_from_time_import_time_flagged(self, tmp_path):
+        found = lint_snippet(
+            tmp_path,
+            """
+            from time import time
+
+            def f():
+                return time()
+            """,
+            select=["RL007"],
+        )
+        assert codes(found) == ["RL007"]
+
+    def test_perf_counter_clean(self, tmp_path):
+        found = lint_snippet(
+            tmp_path,
+            """
+            import time
+
+            def f():
+                return time.perf_counter()
+            """,
+            select=["RL007"],
+        )
+        assert found == []
+
+    def test_tests_directory_exempt(self, tmp_path):
+        testdir = tmp_path / "tests"
+        testdir.mkdir()
+        found = lint_snippet(
+            testdir,
+            """
+            def f(x):
+                print(x)
+            """,
+            select=["RL007"],
+        )
+        assert found == []
+
+    def test_main_module_exempt(self, tmp_path):
+        found = lint_snippet(
+            tmp_path,
+            """
+            def f(x):
+                print(x)
+            """,
+            select=["RL007"],
+            name="__main__.py",
+        )
+        assert found == []
+
+    def test_suppression_comment(self, tmp_path):
+        found = lint_snippet(
+            tmp_path,
+            """
+            # repro-lint: disable=RL007
+            def f(x):
+                print(x)
+            """,
+            select=["RL007"],
+        )
+        assert found == []
+
+
+# ---------------------------------------------------------------------------
 # Reporters and CLI
 # ---------------------------------------------------------------------------
 
@@ -795,4 +918,5 @@ class TestSourceTreeClean:
             "RL004",
             "RL005",
             "RL006",
+            "RL007",
         ]

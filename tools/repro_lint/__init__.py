@@ -21,6 +21,10 @@ RL005
     surface with call-compatible signatures.
 RL006
     numpydoc ``Parameters`` sections must match the actual signature.
+RL007
+    No bare ``print()`` (without ``file=``) and no ``time.time()`` in
+    library code; route output through explicit streams / reporting and
+    durations through ``repro.obs``.
 
 Suppress a rule for one file with a comment anywhere in it::
 

@@ -18,8 +18,9 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m tools.repro_lint",
         description=(
-            "Repo-specific static analysis enforcing determinism and "
-            "estimator-API contracts (rules RL001-RL006)."
+            "Repo-specific static analysis enforcing determinism, "
+            "observability and estimator-API contracts (rules "
+            "RL001-RL007)."
         ),
     )
     parser.add_argument(
