@@ -77,6 +77,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="append each run's manifest (counters, timers, span tree) "
         "to PATH as one JSON line",
     )
+    run.add_argument(
+        "--n-jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker count for parallel passes (-1 = all cores; "
+        "default: the REPRO_N_JOBS environment variable, else serial). "
+        "Results are byte-identical for any value.",
+    )
     return parser
 
 
@@ -109,7 +118,8 @@ def main(argv=None) -> int:
         for name in names:
             result = run_experiment(name, scale=args.scale, seed=args.seed,
                                     plot=args.plot,
-                                    metrics_out=args.metrics_out)
+                                    metrics_out=args.metrics_out,
+                                    n_jobs=args.n_jobs)
             if args.trace and result.manifest is not None:
                 manifest = result.manifest
                 print(f"[trace] {name}", file=sys.stderr)

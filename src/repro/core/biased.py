@@ -32,6 +32,7 @@ from repro.density.base import DensityEstimator
 from repro.density.kde import KernelDensityEstimator
 from repro.exceptions import ParameterError
 from repro.obs import get_recorder
+from repro.parallel import parallel_map_chunks
 from repro.utils.streams import DataStream, as_stream
 from repro.utils.validation import (
     RandomStateLike,
@@ -131,6 +132,12 @@ class DensityBiasedSampler:
     random_state:
         Seed/generator for the Bernoulli draws (and the default
         estimator's reservoir).
+    n_jobs:
+        Worker count for the density-evaluation pass (``None`` defers
+        to the ambient default / ``REPRO_N_JOBS``; see
+        :mod:`repro.parallel`). All random draws stay on the single
+        main-process generator, so results are byte-identical for any
+        value.
 
     Examples
     --------
@@ -154,6 +161,7 @@ class DensityBiasedSampler:
         density_floor_fraction: float = 0.05,
         exact_size: bool = False,
         random_state: RandomStateLike = None,
+        n_jobs: int | None = None,
     ) -> None:
         if sample_size < 1:
             raise ParameterError(f"sample_size must be >= 1; got {sample_size}.")
@@ -165,6 +173,7 @@ class DensityBiasedSampler:
         )
         self.exact_size = bool(exact_size)
         self.random_state = random_state
+        self.n_jobs = n_jobs
         # Populated by sample() for inspection / tests.
         self.estimator_: DensityEstimator | None = None
         self.normalizer_: float | None = None
@@ -213,14 +222,24 @@ class DensityBiasedSampler:
         self.estimator_ = estimator
         return estimator
 
-    @staticmethod
     def _dataset_densities(
-        source: DataStream, estimator: DensityEstimator
+        self, source: DataStream, estimator: DensityEstimator
     ) -> np.ndarray:
-        """Pass 2: density of every dataset point, in stream order."""
+        """Pass 2: density of every dataset point, in stream order.
+
+        Chunks fan out to the parallel backend; evaluation is
+        deterministic per chunk and the merge preserves stream order,
+        so the result is byte-identical for any ``n_jobs``.
+        """
         densities = np.empty(len(source))
-        for start, chunk in source.iter_with_offsets():
-            densities[start : start + chunk.shape[0]] = estimator.evaluate(chunk)
+        offsets_chunks = list(source.iter_with_offsets())
+        values = parallel_map_chunks(
+            estimator.evaluate,
+            [chunk for _, chunk in offsets_chunks],
+            n_jobs=self.n_jobs,
+        )
+        for (start, chunk), chunk_values in zip(offsets_chunks, values):
+            densities[start : start + chunk.shape[0]] = chunk_values
         return densities
 
     def compute_probabilities(self, densities: np.ndarray) -> np.ndarray:

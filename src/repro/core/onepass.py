@@ -23,6 +23,7 @@ from repro.density.base import DensityEstimator
 from repro.density.reservoir import reservoir_sample
 from repro.exceptions import ParameterError
 from repro.obs import get_recorder
+from repro.parallel import parallel_map_chunks
 from repro.utils.streams import DataStream, as_stream
 from repro.utils.validation import RandomStateLike, check_random_state
 
@@ -49,6 +50,7 @@ class OnePassBiasedSampler(DensityBiasedSampler):
         density_floor_fraction: float = 0.05,
         pilot_size: int = 1000,
         random_state: RandomStateLike = None,
+        n_jobs: int | None = None,
     ) -> None:
         super().__init__(
             sample_size=sample_size,
@@ -57,6 +59,7 @@ class OnePassBiasedSampler(DensityBiasedSampler):
             density_floor_fraction=density_floor_fraction,
             exact_size=False,
             random_state=random_state,
+            n_jobs=n_jobs,
         )
         if pilot_size < 1:
             raise ParameterError(f"pilot_size must be >= 1; got {pilot_size}.")
@@ -82,8 +85,19 @@ class OnePassBiasedSampler(DensityBiasedSampler):
         expected = 0.0
         scale = self.sample_size / k_hat
         with recorder.phase("draw"):
-            for start, chunk in source.iter_with_offsets():
-                densities = estimator.evaluate(chunk)
+            # Fan the deterministic density evaluations out to workers;
+            # the Bernoulli draws below stay on the single main-process
+            # generator, consumed in stream order, so the sample is
+            # byte-identical for any n_jobs.
+            offsets_chunks = list(source.iter_with_offsets())
+            all_densities = parallel_map_chunks(
+                estimator.evaluate,
+                [chunk for _, chunk in offsets_chunks],
+                n_jobs=self.n_jobs,
+            )
+            for (start, chunk), densities in zip(
+                offsets_chunks, all_densities
+            ):
                 weights = self._floored_power(densities, floor)
                 probs = np.minimum(1.0, scale * weights)
                 expected += float(probs.sum())
@@ -127,9 +141,20 @@ class OnePassBiasedSampler(DensityBiasedSampler):
 
         ``k = n * E[f(X)^a]`` for ``X`` uniform over the dataset, so the
         pilot mean of ``f^a`` times ``n`` is an unbiased estimate.
+
+        When the pilot points are the estimator's own kernel centers,
+        each pilot density includes the point's *own* kernel — a
+        ``(n/m) * prod_j K(0)/h_j`` spike that a uniformly drawn point
+        would almost surely not sit on. Left in, it inflates every
+        pilot density, biases ``k_hat`` up and undershoots the target
+        sample size; it is subtracted here (leave-one-out correction).
         """
-        pilot = self._pilot_points(source, estimator, rng)
+        pilot, pilot_is_centers = self._pilot_points(source, estimator, rng)
         densities = estimator.evaluate(pilot)
+        if pilot_is_centers:
+            densities = np.maximum(
+                densities - _self_kernel_density(estimator), 0.0
+            )
         floor = 0.0
         if self.exponent < 0:
             floor = self.density_floor_fraction * max(densities.mean(), 1e-300)
@@ -146,12 +171,16 @@ class OnePassBiasedSampler(DensityBiasedSampler):
         source: DataStream,
         estimator: DensityEstimator,
         rng: np.random.Generator,
-    ) -> np.ndarray:
+    ) -> tuple[np.ndarray, bool]:
+        """The pilot sample, plus whether it is the estimator's centers."""
         centers = getattr(estimator, "centers_", None)
         if centers is not None and centers.shape[0] >= 2:
-            return centers
+            return centers, True
         # Non-kernel estimator: spend one extra pass on a pilot sample.
-        return reservoir_sample(None, self.pilot_size, rng, stream=source)
+        return (
+            reservoir_sample(None, self.pilot_size, rng, stream=source),
+            False,
+        )
 
     def _floored_power(self, densities: np.ndarray, floor: float) -> np.ndarray:
         a = self.exponent
@@ -160,3 +189,23 @@ class OnePassBiasedSampler(DensityBiasedSampler):
         if a > 0:
             return densities**a
         return np.maximum(densities, max(floor, 1e-300)) ** a
+
+
+def _self_kernel_density(estimator: DensityEstimator) -> float:
+    """A kernel center's own contribution to its density estimate.
+
+    For a product-kernel estimator with ``m`` centers over ``n`` points,
+    the fitted density at center ``c_i`` includes the term contributed
+    by kernel ``i`` itself: ``(n/m) * prod_j K(0)/h_j``. Estimators
+    without per-attribute bandwidths get no correction (returns 0).
+    """
+    kernel = getattr(estimator, "kernel", None)
+    bandwidths = getattr(estimator, "bandwidths_", None)
+    centers = getattr(estimator, "centers_", None)
+    if kernel is None or bandwidths is None or centers is None:
+        return 0.0
+    k0 = float(kernel.profile(np.zeros(1))[0])
+    return float(
+        (estimator.n_points_ / centers.shape[0])
+        * np.prod(k0 / np.asarray(bandwidths, dtype=np.float64))
+    )

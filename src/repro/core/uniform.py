@@ -55,11 +55,14 @@ class UniformSampler:
         rng = check_random_state(self.random_state)
         recorder = get_recorder()
         n = len(source)
+        # Clipped inclusion probability: with b > n every point is kept
+        # (probability 1), so at most n points can ever be drawn and the
+        # expected size is n * min(1, b/n), not b.
+        prob = min(1.0, self.sample_size / n)
         if self.exact_size:
             indices = rng.choice(n, size=min(self.sample_size, n), replace=False)
             indices.sort()
         else:
-            prob = min(1.0, self.sample_size / n)
             indices = np.nonzero(rng.random(n) < prob)[0]
         mask = np.zeros(n, dtype=bool)
         mask[indices] = True
@@ -73,12 +76,11 @@ class UniformSampler:
             np.vstack(parts) if parts else np.empty((0, source.n_dims))
         )
         recorder.count("sample_size", indices.shape[0])
-        prob = min(1.0, self.sample_size / n)
         return BiasedSample(
             points=points,
             indices=indices,
             probabilities=np.full(indices.shape[0], prob),
             exponent=0.0,
-            expected_size=float(self.sample_size),
+            expected_size=float(n * prob),
             n_source=n,
         )

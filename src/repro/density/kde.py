@@ -23,6 +23,7 @@ from repro.density.kernels import get_kernel
 from repro.density.reservoir import ReservoirSampler
 from repro.exceptions import ParameterError
 from repro.obs import get_recorder
+from repro.parallel import parallel_map_chunks
 from repro.utils.streams import DataStream
 from repro.utils.validation import check_random_state
 
@@ -74,6 +75,11 @@ class KernelDensityEstimator(DensityEstimator):
         per-attribute vector of widths.
     random_state:
         Seed for the reservoir that picks the centers.
+    n_jobs:
+        Worker count for :meth:`evaluate`'s chunked block evaluation
+        (``None`` defers to the ambient default / ``REPRO_N_JOBS``; see
+        :mod:`repro.parallel`). Results are byte-identical for any
+        value.
 
     Examples
     --------
@@ -91,6 +97,7 @@ class KernelDensityEstimator(DensityEstimator):
         kernel: str = "epanechnikov",
         bandwidth="scott",
         random_state=None,
+        n_jobs: int | None = None,
     ) -> None:
         if n_kernels < 1:
             raise ParameterError(f"n_kernels must be >= 1; got {n_kernels}.")
@@ -98,6 +105,7 @@ class KernelDensityEstimator(DensityEstimator):
         self.kernel = get_kernel(kernel)
         self.bandwidth = bandwidth
         self.random_state = random_state
+        self.n_jobs = n_jobs
         # Fitted state
         self.centers_: np.ndarray | None = None
         self.bandwidths_: np.ndarray | None = None
@@ -121,23 +129,51 @@ class KernelDensityEstimator(DensityEstimator):
         self.centers_ = reservoir.sample
         self.n_dims_ = self.centers_.shape[1]
         self.bandwidths_ = resolve_bandwidth(
-            self.bandwidth, moments.std, self.n_points_, self.n_dims_, self.kernel
+            self.bandwidth,
+            moments.std,
+            self.n_points_,
+            self.n_dims_,
+            self.kernel,
+            scale=float(np.abs(moments.mean).max()),
         )
         return self
 
-    def fit_from_centers(self, centers, n_points: int, bandwidths):
+    def fit_from_centers(self, centers, n_points: int, bandwidths, std=None):
         """Construct a fitted estimator from precomputed pieces.
 
         Useful for tests and for transplanting an estimator between
         processes without refitting.
+
+        Parameters
+        ----------
+        centers:
+            Kernel centers, shape ``(m, d)``.
+        n_points:
+            Dataset size the estimator represents.
+        bandwidths:
+            Numeric bandwidths (scalar or per-attribute vector), or a
+            rule name (``"scott"`` / ``"silverman"``) — the latter only
+            together with ``std``: a rule resolved against fabricated
+            unit spreads would silently produce wrong widths.
+        std:
+            Per-attribute standard deviations of the *dataset* (not of
+            the centers), required when ``bandwidths`` is a rule name.
         """
         centers = np.atleast_2d(np.asarray(centers, dtype=np.float64))
         self.centers_ = centers
         self.n_points_ = int(n_points)
         self.n_dims_ = centers.shape[1]
+        if isinstance(bandwidths, str) and std is None:
+            raise ParameterError(
+                f"bandwidth rule {bandwidths!r} needs the dataset's "
+                "per-attribute standard deviations; pass std= or give "
+                "numeric bandwidths."
+            )
         self.bandwidths_ = resolve_bandwidth(
             bandwidths,
-            np.ones(self.n_dims_),
+            np.ones(self.n_dims_) if std is None else np.asarray(
+                std, dtype=np.float64
+            ),
             self.n_points_,
             self.n_dims_,
             self.kernel,
@@ -147,13 +183,21 @@ class KernelDensityEstimator(DensityEstimator):
     # -- evaluation --------------------------------------------------------------
 
     def _evaluate(self, points: np.ndarray) -> np.ndarray:
-        out = np.empty(points.shape[0])
         # Chunk queries so the (chunk, n_centers) work array stays small.
         chunk_rows = max(1, int(2_000_000 / max(1, self.centers_.shape[0])))
-        for start in range(0, points.shape[0], chunk_rows):
-            block = points[start : start + chunk_rows]
-            out[start : start + chunk_rows] = self._evaluate_block(block)
-        return out
+        if points.shape[0] <= chunk_rows:
+            return self._evaluate_block(points)
+        blocks = [
+            points[start : start + chunk_rows]
+            for start in range(0, points.shape[0], chunk_rows)
+        ]
+        # Each block is deterministic, so the ordered merge is
+        # byte-identical to the serial loop for any n_jobs.
+        return np.concatenate(
+            parallel_map_chunks(
+                self._evaluate_block, blocks, n_jobs=self.n_jobs
+            )
+        )
 
     def _evaluate_block(self, block: np.ndarray) -> np.ndarray:
         m = self.centers_.shape[0]

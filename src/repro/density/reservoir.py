@@ -1,11 +1,25 @@
-"""Reservoir sampling (Vitter's Algorithm R) over data streams.
+"""Reservoir sampling (Li's Algorithm L) over data streams.
 
-The kernel density estimator picks its kernel centers as a uniform random
-sample of the dataset, collected *during* the single fit pass — reservoir
-sampling is what makes that possible without knowing ``n`` up front.
+The kernel density estimator picks its kernel centers as a uniform
+random sample of the dataset, collected *during* the single fit pass —
+reservoir sampling is what makes that possible without knowing ``n`` up
+front.
+
+The implementation is the chunk-vectorised form of Algorithm L (Li,
+"Reservoir-Sampling Algorithms of Time Complexity O(n(1 + log(N/n)))",
+TOMS 1994). Instead of offering every row to the reservoir one at a
+time — Vitter's Algorithm R, a pure-Python loop that dominated KDE fit
+time — the sampler draws *geometric skip lengths*: after the reservoir
+fills, it computes how many rows to jump over before the next
+replacement, so per-chunk work is proportional to the handful of
+accepted rows (about ``capacity * log(n / capacity)`` in total), not to
+the rows seen. Uniform draws come from a small batched buffer so the
+skip loop costs a few array reads per acceptance.
 """
 
 from __future__ import annotations
+
+import math
 
 import numpy as np
 
@@ -16,6 +30,13 @@ __all__ = [
     "ReservoirSampler",
     "reservoir_sample",
 ]
+
+#: Uniform draws are floored here before ``log`` so a (measure-zero)
+#: 0.0 from the generator cannot produce an infinite skip.
+_TINY = 1e-300
+
+#: Uniform draws buffered per refill (batched RNG for the skip loop).
+_BUFFER_SIZE = 192
 
 
 class ReservoirSampler:
@@ -40,26 +61,63 @@ class ReservoirSampler:
         self._reservoir: np.ndarray | None = None
         self._filled = 0
         self.n_seen = 0
+        # Algorithm L state: the running weight ``w`` and the absolute
+        # (0-based) index of the next accepted row.
+        self._w = 1.0
+        self._next_accept = 0
+        # Batched uniform draws for the skip loop.
+        self._buffer = np.empty(0)
+        self._buffer_pos = 0
 
     def extend(self, chunk) -> None:
         """Offer a chunk of rows to the reservoir."""
         chunk = np.atleast_2d(np.asarray(chunk, dtype=np.float64))
-        for row in chunk:
-            self._offer(row)
-
-    def _offer(self, row: np.ndarray) -> None:
-        if self._reservoir is None:
-            self._reservoir = np.empty((self.capacity, row.shape[0]))
-        self.n_seen += 1
-        if self._filled < self.capacity:
-            self._reservoir[self._filled] = row
-            self._filled += 1
+        n_rows = chunk.shape[0]
+        if n_rows == 0:
             return
-        # Classic Algorithm R: element i (1-based) replaces a random slot
-        # with probability capacity / i.
-        slot = self._rng.integers(0, self.n_seen)
-        if slot < self.capacity:
+        if self._reservoir is None:
+            self._reservoir = np.empty((self.capacity, chunk.shape[1]))
+        pos = 0
+        if self._filled < self.capacity:
+            # Fill phase: copy rows in bulk until the reservoir is full.
+            take = min(self.capacity - self._filled, n_rows)
+            self._reservoir[self._filled : self._filled + take] = chunk[:take]
+            self._filled += take
+            self.n_seen += take
+            pos = take
+            if self._filled == self.capacity:
+                self._schedule_next(self.n_seen - 1)
+            if pos >= n_rows:
+                return
+        # Skip phase: jump straight to each accepted row.
+        base = self.n_seen - pos  # absolute index of chunk[0]
+        end = base + n_rows
+        while self._next_accept < end:
+            row = chunk[self._next_accept - base]
+            slot = int(self._uniform() * self.capacity)
             self._reservoir[slot] = row
+            self._schedule_next(self._next_accept)
+        self.n_seen = end
+
+    def _schedule_next(self, current: int) -> None:
+        """Update ``w`` and draw the geometric skip to the next accept."""
+        k = self.capacity
+        self._w *= math.exp(math.log(max(self._uniform(), _TINY)) / k)
+        log_keep = math.log1p(-self._w)
+        if log_keep == 0.0:  # w underflowed to 0: skips are astronomical
+            self._next_accept = 2**63
+            return
+        skip = math.floor(math.log(max(self._uniform(), _TINY)) / log_keep)
+        self._next_accept = current + int(skip) + 1
+
+    def _uniform(self) -> float:
+        """Next uniform draw from the batched buffer."""
+        if self._buffer_pos >= self._buffer.shape[0]:
+            self._buffer = self._rng.random(_BUFFER_SIZE)
+            self._buffer_pos = 0
+        value = self._buffer[self._buffer_pos]
+        self._buffer_pos += 1
+        return float(value)
 
     @property
     def sample(self) -> np.ndarray:

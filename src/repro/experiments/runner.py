@@ -14,6 +14,7 @@ from repro.obs import (
     get_recorder,
     use_recorder,
 )
+from repro.parallel import use_n_jobs
 
 __all__ = [
     "run_experiment",
@@ -30,6 +31,7 @@ def run_experiment(
     out=None,
     record: bool = True,
     metrics_out=None,
+    n_jobs: int | None = None,
 ) -> ExperimentResult:
     """Run one experiment and (optionally) print its report.
 
@@ -60,6 +62,11 @@ def run_experiment(
         Manifest sink (path, stream, or callable — see
         :meth:`repro.obs.RunManifest.emit`); implies nothing when
         ``record`` is false.
+    n_jobs:
+        Worker count installed as the ambient default for the run
+        (see :mod:`repro.parallel`); ``None`` leaves the ambient
+        default / ``REPRO_N_JOBS`` resolution in place. Counters and
+        results are identical for any value.
     """
     spec = get_experiment(name)
     stream = out if out is not None else sys.stdout
@@ -69,7 +76,8 @@ def run_experiment(
     else:
         recorder = get_recorder()
         context = nullcontext()
-    with context, Stopwatch() as watch:
+    jobs_context = use_n_jobs(n_jobs) if n_jobs is not None else nullcontext()
+    with context, jobs_context, Stopwatch() as watch:
         with recorder.phase(f"run:{name}"):
             result = spec.run(scale=scale, seed=seed)
     if record:

@@ -13,12 +13,15 @@ Two exact algorithms:
 
 from __future__ import annotations
 
+from functools import partial
+
 import numpy as np
 from scipy.spatial import cKDTree
 
 from repro.exceptions import ParameterError
 from repro.obs import get_recorder
 from repro.outliers.base import OutlierDetector, OutlierResult, resolve_p
+from repro.parallel import parallel_map_chunks
 from repro.utils.geometry import sq_distances_to
 from repro.utils.streams import DataStream, as_stream
 from repro.utils.validation import check_positive
@@ -27,6 +30,37 @@ __all__ = [
     "NestedLoopOutlierDetector",
     "IndexedOutlierDetector",
 ]
+
+
+def _count_outer_block(
+    pts: np.ndarray, p: int, k_sq: float, block_size: int, a_start: int
+) -> np.ndarray:
+    """Neighbour counts for one outer block of the nested-loop scan.
+
+    Outer blocks are independent — the early exit only ever resolves
+    rows of the block being scanned — so each is a pure function of the
+    dataset and its offset, and the outer loop parallelises with
+    byte-identical results. A row's count freezes (early exit) once it
+    exceeds ``p``: the row is then a known non-outlier.
+    """
+    n = pts.shape[0]
+    a_stop = min(a_start + block_size, n)
+    counts = np.zeros(a_stop - a_start, dtype=np.int64)
+    open_rows = np.arange(a_start, a_stop)
+    recorder = get_recorder()
+    for b_start in range(0, n, block_size):
+        b_stop = min(b_start + block_size, n)
+        recorder.count("distance_evals", open_rows.size * (b_stop - b_start))
+        d = sq_distances_to(pts[open_rows], pts[b_start:b_stop])
+        within = (d <= k_sq).sum(axis=1)
+        # Points do not count themselves as neighbours.
+        overlap = (open_rows >= b_start) & (open_rows < b_stop)
+        within = within - overlap.astype(np.int64)
+        counts[open_rows - a_start] += within
+        open_rows = open_rows[counts[open_rows - a_start] <= p]
+        if open_rows.size == 0:
+            break
+    return counts
 
 
 class NestedLoopOutlierDetector(OutlierDetector):
@@ -44,6 +78,11 @@ class NestedLoopOutlierDetector(OutlierDetector):
         dataset size (specify exactly one of the two).
     block_size:
         Rows held in memory per block.
+    n_jobs:
+        Worker count for the outer block loop (``None`` defers to the
+        ambient default / ``REPRO_N_JOBS``; see :mod:`repro.parallel`).
+        Outer blocks are independent, so results are byte-identical
+        for any value.
     """
 
     def __init__(
@@ -52,6 +91,7 @@ class NestedLoopOutlierDetector(OutlierDetector):
         p: int | None = None,
         fraction: float | None = None,
         block_size: int = 4096,
+        n_jobs: int | None = None,
     ) -> None:
         self.k = check_positive(k, name="k")
         self.p = p
@@ -59,6 +99,7 @@ class NestedLoopOutlierDetector(OutlierDetector):
         if block_size < 1:
             raise ParameterError(f"block_size must be >= 1; got {block_size}.")
         self.block_size = int(block_size)
+        self.n_jobs = n_jobs
 
     def detect(self, data, *, stream: DataStream | None = None) -> OutlierResult:
         source = stream if stream is not None else as_stream(data)
@@ -66,31 +107,13 @@ class NestedLoopOutlierDetector(OutlierDetector):
         n = pts.shape[0]
         p = resolve_p(self.p, self.fraction, n)
         k_sq = self.k * self.k
-        counts = np.zeros(n, dtype=np.int64)
-        resolved = np.zeros(n, dtype=bool)  # already known non-outliers
-        for a_start in range(0, n, self.block_size):
-            a_stop = min(a_start + self.block_size, n)
-            a_rows = np.arange(a_start, a_stop)
-            open_rows = a_rows[~resolved[a_rows]]
-            if open_rows.size == 0:
-                continue
-            for b_start in range(0, n, self.block_size):
-                b_stop = min(b_start + self.block_size, n)
-                get_recorder().count(
-                    "distance_evals", open_rows.size * (b_stop - b_start)
-                )
-                d = sq_distances_to(pts[open_rows], pts[b_start:b_stop])
-                within = (d <= k_sq).sum(axis=1)
-                # Points do not count themselves as neighbours.
-                overlap = (open_rows >= b_start) & (open_rows < b_stop)
-                within = within - overlap.astype(np.int64)
-                counts[open_rows] += within
-                newly_resolved = counts[open_rows] > p
-                resolved[open_rows[newly_resolved]] = True
-                open_rows = open_rows[~newly_resolved]
-                if open_rows.size == 0:
-                    break
-        outliers = np.nonzero(~resolved & (counts <= p))[0]
+        block_counts = parallel_map_chunks(
+            partial(_count_outer_block, pts, p, k_sq, self.block_size),
+            range(0, n, self.block_size),
+            n_jobs=self.n_jobs,
+        )
+        counts = np.concatenate(block_counts)
+        outliers = np.nonzero(counts <= p)[0]
         return OutlierResult(
             indices=outliers,
             neighbor_counts=counts[outliers],

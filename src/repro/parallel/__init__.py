@@ -1,0 +1,52 @@
+"""repro.parallel: the execution-backend layer for hot dataset passes.
+
+The paper's pitch is speed — fit a density estimator in one pass, then
+mine a small sample — and this package makes the per-pass work scale
+with the machine. It has two layers:
+
+* :mod:`repro.parallel.backend` — serial / thread / process execution
+  backends, worker-count resolution (explicit ``n_jobs`` argument →
+  :func:`use_n_jobs` ambient default → ``REPRO_N_JOBS`` environment
+  variable → serial), and backend-kind selection
+  (``REPRO_PARALLEL_BACKEND``, default threads).
+* :mod:`repro.parallel.map` — :func:`parallel_map_chunks`, the
+  order-preserving chunk fan-out that merges every worker's
+  :class:`repro.obs.Recorder` counters back into the caller's ambient
+  recorder.
+
+The determinism contract: results are byte-identical for any
+``n_jobs``. Parallel passes only run deterministic per-chunk work
+(density evaluation, block distance counts); every random draw stays on
+the caller's single main-process generator, consumed in stream order.
+
+Direct use of ``multiprocessing`` / ``concurrent.futures`` elsewhere in
+the library is forbidden by repro-lint rule RL008 — new parallel code
+goes through this package so counters, determinism and worker policy
+stay in one place.
+"""
+
+from repro.parallel.backend import (
+    BACKEND_ENV,
+    N_JOBS_ENV,
+    ExecutionBackend,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    get_backend,
+    resolve_n_jobs,
+    use_n_jobs,
+)
+from repro.parallel.map import parallel_map_chunks
+
+__all__ = [
+    "BACKEND_ENV",
+    "N_JOBS_ENV",
+    "ExecutionBackend",
+    "ProcessBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "get_backend",
+    "parallel_map_chunks",
+    "resolve_n_jobs",
+    "use_n_jobs",
+]

@@ -13,6 +13,7 @@ clustering on a huge dataset as a single call:
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass
 
 import numpy as np
@@ -24,6 +25,7 @@ from repro.core.biased import BiasedSample
 from repro.core.guide import recommend_settings
 from repro.exceptions import ParameterError
 from repro.obs import Recorder, get_recorder, use_recorder
+from repro.parallel import use_n_jobs
 from repro.utils.streams import DataStream, as_stream
 
 __all__ = [
@@ -79,6 +81,12 @@ class ApproximateClusteringPipeline:
         ``"representatives"`` (CURE's rule, default) or ``"centers"``.
     random_state:
         Seed for the default sampler.
+    n_jobs:
+        Worker count installed as the ambient default for the whole
+        fit (sampling, clustering, assignment); ``None`` leaves the
+        ambient default / ``REPRO_N_JOBS`` resolution in place. See
+        :mod:`repro.parallel`; results are byte-identical for any
+        value.
 
     Examples
     --------
@@ -103,6 +111,7 @@ class ApproximateClusteringPipeline:
         clusterer: Clusterer | None = None,
         assignment_policy: str = "representatives",
         random_state=None,
+        n_jobs: int | None = None,
     ) -> None:
         if n_clusters < 1:
             raise ParameterError(f"n_clusters must be >= 1; got {n_clusters}.")
@@ -113,6 +122,7 @@ class ApproximateClusteringPipeline:
         self.clusterer = clusterer
         self.assignment_policy = assignment_policy
         self.random_state = random_state
+        self.n_jobs = n_jobs
 
     def fit(self, data, *, stream: DataStream | None = None) -> PipelineResult:
         """Run the full pipeline over ``data`` (or an explicit stream).
@@ -126,7 +136,12 @@ class ApproximateClusteringPipeline:
         recorder = get_recorder()
         if not recorder.enabled:
             recorder = Recorder()
-        with use_recorder(recorder):
+        jobs_context = (
+            use_n_jobs(self.n_jobs)
+            if self.n_jobs is not None
+            else nullcontext()
+        )
+        with use_recorder(recorder), jobs_context:
             passes_before = recorder.counters.get("data_passes", 0)
             with recorder.phase("pipeline_fit"):
                 result = self._fit(source)

@@ -240,3 +240,14 @@ class TestUniformSampler:
         data = np.random.default_rng(0).normal(size=(50, 2))
         sample = UniformSampler(500, random_state=0).sample(data)
         assert len(sample) == 50
+
+    def test_oversized_budget_expected_size(self):
+        """Regression: with b > n at most n points can be drawn, so the
+        reported expectation is n * min(1, b/n) = n, not b."""
+        data = np.random.default_rng(0).normal(size=(50, 2))
+        for exact in (False, True):
+            sample = UniformSampler(
+                500, exact_size=exact, random_state=0
+            ).sample(data)
+            assert sample.expected_size == 50.0
+            np.testing.assert_allclose(sample.probabilities, 1.0)

@@ -146,3 +146,23 @@ class TestFitFromCenters:
         kde.fit_from_centers([[0.0], [1.0]], n_points=100, bandwidths=0.5)
         assert kde.evaluate([[0.0]])[0] > 0
         assert kde.n_points_ == 100
+
+    def test_rule_name_without_std_rejected(self):
+        """Regression: a rule name used to be resolved against a
+        fabricated unit spread; it must demand the real one."""
+        kde = KernelDensityEstimator(kernel="epanechnikov")
+        with pytest.raises(ParameterError, match="std"):
+            kde.fit_from_centers(
+                [[0.0], [1.0]], n_points=100, bandwidths="scott"
+            )
+
+    def test_rule_name_with_explicit_std(self):
+        kde = KernelDensityEstimator(kernel="epanechnikov")
+        kde.fit_from_centers(
+            [[0.0, 0.0], [1.0, 1.0]],
+            n_points=100,
+            bandwidths="scott",
+            std=[1.0, 3.0],
+        )
+        # The resolved widths track the supplied spread per attribute.
+        assert kde.bandwidths_[1] == pytest.approx(3.0 * kde.bandwidths_[0])

@@ -96,6 +96,29 @@ class TestBandwidthRules:
         h = scott_bandwidth(np.array([0.0]), 100, 1)
         assert h[0] > 0
 
+    def test_constant_attribute_floor_tracks_other_spreads(self):
+        """Regression: the constant-attribute fallback is relative to the
+        data's scale, not an absolute 1e-3 (which would be a delta spike
+        for data in units of 1e6)."""
+        h_small = scott_bandwidth(np.array([0.0, 1.0]), 100, 2)
+        h_large = scott_bandwidth(np.array([0.0, 1e6]), 100, 2)
+        assert h_large[0] == pytest.approx(1e6 * h_small[0])
+        # The floored width stays a fixed small fraction of the spread.
+        assert h_small[0] == pytest.approx(1e-3 * h_small[1])
+
+    def test_constant_attribute_floor_uses_scale_hint(self):
+        """All-constant data still gets a scale-relative width when the
+        caller supplies a data-magnitude hint."""
+        h_unit = scott_bandwidth(np.array([0.0]), 100, 1)
+        h_big = scott_bandwidth(np.array([0.0]), 100, 1, scale=1e6)
+        assert h_big[0] == pytest.approx(1e6 * h_unit[0])
+
+    def test_single_point_rejected(self):
+        """Regression: a 1-point fit has no sample spread; the rules must
+        say so instead of silently returning the 1e-3 floor."""
+        with pytest.raises(ParameterError, match="at least 2 points"):
+            scott_bandwidth(np.array([1.0]), 1, 1)
+
     def test_rejects_negative_std(self):
         with pytest.raises(ParameterError):
             scott_bandwidth(np.array([-1.0]), 100, 1)

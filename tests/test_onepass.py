@@ -91,3 +91,34 @@ class TestQuality:
     def test_rejects_bad_pilot(self):
         with pytest.raises(ParameterError):
             OnePassBiasedSampler(pilot_size=0)
+
+
+class TestSelfKernelCorrection:
+    """Regression: when the pilot is the estimator's own centers, each
+    pilot density carries the center's own-kernel spike; the normaliser
+    estimate must subtract it or ``k_hat`` biases up (and the achieved
+    sample size undershoots)."""
+
+    def test_normalizer_closer_than_naive_estimate(self, data):
+        from repro.core.onepass import _self_kernel_density
+
+        sampler = OnePassBiasedSampler(
+            sample_size=300, exponent=1.0, random_state=0
+        )
+        sampler.sample(data)
+        estimator = sampler.estimator_
+
+        spike = _self_kernel_density(estimator)
+        assert spike > 0
+        # What the uncorrected code computed: the raw center densities.
+        naive_k = float(
+            len(data) * estimator.evaluate(estimator.centers_).mean()
+        )
+        exact_k = float(estimator.evaluate(data).sum())
+        assert abs(sampler.normalizer_ - exact_k) < abs(naive_k - exact_k)
+
+    def test_no_correction_for_non_kernel_estimator(self, data):
+        from repro.core.onepass import _self_kernel_density
+
+        estimator = KnnDensityEstimator(n_sample=200, k=5, random_state=0)
+        assert _self_kernel_density(estimator) == 0.0

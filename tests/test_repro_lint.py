@@ -814,6 +814,92 @@ class TestRL007:
 
 
 # ---------------------------------------------------------------------------
+# RL008 — parallelism discipline (workers only via repro.parallel)
+# ---------------------------------------------------------------------------
+
+
+class TestRL008:
+    def test_multiprocessing_import_flagged(self, tmp_path):
+        found = lint_snippet(
+            tmp_path,
+            """
+            import multiprocessing
+
+            def f(items):
+                with multiprocessing.Pool(2) as pool:
+                    return pool.map(str, items)
+            """,
+            select=["RL008"],
+        )
+        assert codes(found) == ["RL008"]
+        assert "repro.parallel" in found[0].message
+
+    def test_concurrent_futures_from_import_flagged(self, tmp_path):
+        found = lint_snippet(
+            tmp_path,
+            """
+            from concurrent.futures import ThreadPoolExecutor
+
+            def f(items):
+                with ThreadPoolExecutor(2) as pool:
+                    return list(pool.map(str, items))
+            """,
+            select=["RL008"],
+        )
+        assert codes(found) == ["RL008"]
+
+    def test_aliased_import_flagged(self, tmp_path):
+        found = lint_snippet(
+            tmp_path,
+            """
+            import concurrent.futures as cf
+            """,
+            select=["RL008"],
+        )
+        assert codes(found) == ["RL008"]
+
+    def test_repro_parallel_package_exempt(self, tmp_path):
+        pkg = tmp_path / "repro" / "parallel"
+        pkg.mkdir(parents=True)
+        (tmp_path / "repro" / "__init__.py").write_text("")
+        (pkg / "__init__.py").write_text("")
+        found = lint_snippet(
+            pkg,
+            """
+            from concurrent.futures import ThreadPoolExecutor
+
+            __all__ = ["ThreadPoolExecutor"]
+            """,
+            name="backend.py",
+            select=["RL008"],
+        )
+        assert found == []
+
+    def test_tests_directory_exempt(self, tmp_path):
+        testdir = tmp_path / "tests"
+        testdir.mkdir()
+        found = lint_snippet(
+            testdir,
+            """
+            import multiprocessing
+            """,
+            select=["RL008"],
+        )
+        assert found == []
+
+    def test_suppression_comment(self, tmp_path):
+        found = lint_snippet(
+            tmp_path,
+            """
+            # repro-lint: disable=RL008
+            import multiprocessing
+            """,
+            select=["RL008"],
+        )
+        assert found == []
+
+
+# ---------------------------------------------------------------------------
 # Reporters and CLI
 # ---------------------------------------------------------------------------
 
@@ -919,4 +1005,5 @@ class TestSourceTreeClean:
             "RL005",
             "RL006",
             "RL007",
+            "RL008",
         ]

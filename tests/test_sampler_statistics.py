@@ -10,7 +10,7 @@ import numpy as np
 import pytest
 
 from repro.baselines import GridBiasedSampler
-from repro.core import DensityBiasedSampler
+from repro.core import DensityBiasedSampler, OnePassBiasedSampler, UniformSampler
 from repro.density import KernelDensityEstimator
 
 
@@ -101,3 +101,38 @@ class TestHorvitzThompsonTotals:
             assert np.mean(estimates) == pytest.approx(4000, rel=0.05), (
                 exponent
             )
+
+    def test_uniform_sampler_weight_sum(self):
+        """The HT estimator of n must be unbiased for the uniform
+        sampler too — including the clipped b > n regime where every
+        point has probability exactly 1."""
+        rng = np.random.default_rng(4)
+        data = rng.normal(size=(1500, 2))
+        estimates = [
+            UniformSampler(300, random_state=seed).sample(data).weights.sum()
+            for seed in range(30)
+        ]
+        assert np.mean(estimates) == pytest.approx(1500, rel=0.05)
+        oversized = UniformSampler(5000, random_state=0).sample(data)
+        assert oversized.weights.sum() == pytest.approx(1500)
+
+    def test_onepass_sampler_weight_sum(self):
+        """The one-pass sampler's estimated normaliser perturbs the
+        probabilities, but the weight-sum estimate of n must stay
+        unbiased (this is what the self-kernel correction protects)."""
+        rng = np.random.default_rng(5)
+        data = np.vstack(
+            [
+                rng.normal(0.0, 0.05, size=(2000, 2)),
+                rng.uniform(-1.0, 1.0, size=(2000, 2)),
+            ]
+        )
+        estimates = [
+            OnePassBiasedSampler(
+                sample_size=400, exponent=1.0, random_state=seed
+            )
+            .sample(data)
+            .weights.sum()
+            for seed in range(25)
+        ]
+        assert np.mean(estimates) == pytest.approx(4000, rel=0.05)

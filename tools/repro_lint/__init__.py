@@ -25,6 +25,11 @@ RL007
     No bare ``print()`` (without ``file=``) and no ``time.time()`` in
     library code; route output through explicit streams / reporting and
     durations through ``repro.obs``.
+RL008
+    No direct ``multiprocessing`` / ``concurrent.futures`` use outside
+    ``repro.parallel``; parallel execution goes through the execution
+    backend (``parallel_map_chunks``) so results stay byte-identical
+    for any worker count and recorder counters aggregate correctly.
 
 Suppress a rule for one file with a comment anywhere in it::
 

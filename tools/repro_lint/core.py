@@ -4,7 +4,7 @@ repro-lint is a repo-specific static-analysis pass. Reproducing the
 paper's figures hinges on invariants that ordinary linters do not check
 — determinism of every sampler and estimator, a uniform randomness API,
 explicit public module surfaces, and conformance to the estimator base
-classes. Each invariant is an AST rule (``RL001``..``RL007``) registered
+classes. Each invariant is an AST rule (``RL001``..``RL008``) registered
 here; the runner parses every file once, builds a light project model so
 cross-module rules (re-export resolution, base-class conformance) can
 see sibling modules, and reports violations sorted by location.
@@ -284,6 +284,7 @@ def _load_rules() -> None:
         rules_estimator,
         rules_exports,
         rules_observability,
+        rules_parallel,
         rules_randomness,
     )
 
