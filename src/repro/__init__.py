@@ -52,6 +52,13 @@ from repro.outliers import (
     NestedLoopOutlierDetector,
 )
 from repro.baselines import GridBiasedSampler
+from repro.faults import (
+    FaultPlan,
+    FaultyStream,
+    RetryPolicy,
+    RowQuarantine,
+    use_fault_policy,
+)
 from repro.obs import (
     Recorder,
     RunManifest,
@@ -66,6 +73,8 @@ from repro.exceptions import (
     NotFittedError,
     ParameterError,
     ReproError,
+    StreamReadError,
+    TransientIOError,
 )
 
 __version__ = "1.0.0"
@@ -95,6 +104,11 @@ __all__ = [
     "CellBasedOutlierDetector",
     "NestedLoopOutlierDetector",
     "GridBiasedSampler",
+    "FaultPlan",
+    "FaultyStream",
+    "RetryPolicy",
+    "RowQuarantine",
+    "use_fault_policy",
     "ApproximateClusteringPipeline",
     "PipelineResult",
     "Recorder",
@@ -107,5 +121,7 @@ __all__ = [
     "DataValidationError",
     "ParameterError",
     "ConvergenceWarning",
+    "StreamReadError",
+    "TransientIOError",
     "__version__",
 ]

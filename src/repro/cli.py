@@ -86,6 +86,15 @@ def build_parser() -> argparse.ArgumentParser:
         "default: the REPRO_N_JOBS environment variable, else serial). "
         "Results are byte-identical for any value.",
     )
+    run.add_argument(
+        "--fault-policy",
+        choices=("strict", "quarantine", "repair"),
+        default=None,
+        help="how streams handle invalid (NaN/Inf) rows: strict raises "
+        "a typed error naming pass and chunk offset (default), "
+        "quarantine drops and counts them, repair imputes from chunk "
+        "statistics; counts land in the run manifest",
+    )
     return parser
 
 
@@ -119,7 +128,8 @@ def main(argv=None) -> int:
             result = run_experiment(name, scale=args.scale, seed=args.seed,
                                     plot=args.plot,
                                     metrics_out=args.metrics_out,
-                                    n_jobs=args.n_jobs)
+                                    n_jobs=args.n_jobs,
+                                    fault_policy=args.fault_policy)
             if args.trace and result.manifest is not None:
                 manifest = result.manifest
                 print(f"[trace] {name}", file=sys.stderr)

@@ -30,7 +30,7 @@ from numpy.typing import ArrayLike
 
 from repro.density.base import DensityEstimator
 from repro.density.kde import KernelDensityEstimator
-from repro.exceptions import ParameterError
+from repro.exceptions import DataValidationError, ParameterError
 from repro.obs import get_recorder
 from repro.parallel import parallel_map_chunks
 from repro.utils.streams import DataStream, as_stream
@@ -233,6 +233,14 @@ class DensityBiasedSampler:
         """
         densities = np.empty(len(source))
         offsets_chunks = list(source.iter_with_offsets())
+        covered = sum(chunk.shape[0] for _, chunk in offsets_chunks)
+        if covered != len(source):
+            raise DataValidationError(
+                f"stream yielded {covered} rows in the density pass but "
+                f"advertises n_points={len(source)}; offset-keyed buffers "
+                "would be misaligned (a hardened stream must deliver its "
+                "exact surviving-row count every pass)."
+            )
         values = parallel_map_chunks(
             estimator.evaluate,
             [chunk for _, chunk in offsets_chunks],
@@ -324,10 +332,18 @@ class DensityBiasedSampler:
     def _gather(source: DataStream, mask: np.ndarray) -> np.ndarray:
         """Collect the masked rows in one sequential pass."""
         parts = []
+        seen = 0
         for start, chunk in source.iter_with_offsets():
             local = mask[start : start + chunk.shape[0]]
+            seen += chunk.shape[0]
             if local.any():
                 parts.append(chunk[local])
+        if seen != mask.shape[0]:
+            raise DataValidationError(
+                f"stream yielded {seen} rows in the gather pass but the "
+                f"selection mask covers {mask.shape[0]}; passes disagree "
+                "on the surviving-row count."
+            )
         if not parts:
             return np.empty((0, source.n_dims))
         return np.vstack(parts)

@@ -21,7 +21,7 @@ from numpy.typing import ArrayLike
 from repro.core.biased import BiasedSample, DensityBiasedSampler
 from repro.density.base import DensityEstimator
 from repro.density.reservoir import reservoir_sample
-from repro.exceptions import ParameterError
+from repro.exceptions import DataValidationError, ParameterError
 from repro.obs import get_recorder
 from repro.parallel import parallel_map_chunks
 from repro.utils.streams import DataStream, as_stream
@@ -90,6 +90,13 @@ class OnePassBiasedSampler(DensityBiasedSampler):
             # generator, consumed in stream order, so the sample is
             # byte-identical for any n_jobs.
             offsets_chunks = list(source.iter_with_offsets())
+            covered = sum(chunk.shape[0] for _, chunk in offsets_chunks)
+            if covered != len(source):
+                raise DataValidationError(
+                    f"stream yielded {covered} rows in the draw scan but "
+                    f"advertises n_points={len(source)}; sample indices "
+                    "would not address the surviving rows."
+                )
             all_densities = parallel_map_chunks(
                 estimator.evaluate,
                 [chunk for _, chunk in offsets_chunks],

@@ -7,6 +7,7 @@ from contextlib import nullcontext
 
 from repro.experiments.registry import get_experiment
 from repro.experiments.reporting import ExperimentResult
+from repro.faults import use_fault_policy
 from repro.obs import (
     Recorder,
     RunManifest,
@@ -32,6 +33,7 @@ def run_experiment(
     record: bool = True,
     metrics_out=None,
     n_jobs: int | None = None,
+    fault_policy=None,
 ) -> ExperimentResult:
     """Run one experiment and (optionally) print its report.
 
@@ -67,6 +69,12 @@ def run_experiment(
         (see :mod:`repro.parallel`); ``None`` leaves the ambient
         default / ``REPRO_N_JOBS`` resolution in place. Counters and
         results are identical for any value.
+    fault_policy:
+        Invalid-row handling installed as the ambient policy for the
+        run: a mode name (``"strict"``, ``"quarantine"``,
+        ``"repair"``), a :class:`repro.faults.RowQuarantine`, or
+        ``None`` to leave the ambient policy in place (default
+        strict). Quarantine/repair counters land in the run manifest.
     """
     spec = get_experiment(name)
     stream = out if out is not None else sys.stdout
@@ -77,16 +85,26 @@ def run_experiment(
         recorder = get_recorder()
         context = nullcontext()
     jobs_context = use_n_jobs(n_jobs) if n_jobs is not None else nullcontext()
-    with context, jobs_context, Stopwatch() as watch:
+    policy_context = (
+        use_fault_policy(fault_policy)
+        if fault_policy is not None
+        else nullcontext()
+    )
+    with context, jobs_context, policy_context, Stopwatch() as watch:
         with recorder.phase(f"run:{name}"):
             result = spec.run(scale=scale, seed=seed)
     if record:
         result.elapsed = recorder.spans[-1].elapsed
+        params = {"scale": scale, "seed": seed}
+        if fault_policy is not None:
+            params["fault_policy"] = str(
+                getattr(fault_policy, "mode", fault_policy)
+            )
         result.manifest = RunManifest.from_recorder(
             recorder,
             name=name,
             seed=seed,
-            params={"scale": scale, "seed": seed},
+            params=params,
         )
         if metrics_out is not None:
             result.manifest.emit(metrics_out)

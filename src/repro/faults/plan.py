@@ -1,0 +1,262 @@
+"""Seeded fault plans: which faults hit which chunk, decided up front.
+
+A :class:`FaultPlan` is a pure function from a seed and per-kind rates
+to concrete fault decisions, so an injected chaos run replays
+byte-identically: the same seed produces the same NaN rows, the same
+corrupted cells, the same truncations and the same transient read
+failures, run after run and for any worker count.
+
+Two families of faults with different keying, mirroring reality:
+
+* **Persistent data corruption** (NaN/Inf rows, corrupted values, short
+  reads) is keyed by *chunk index only* — corrupt bytes on disk are
+  corrupt on every read, so every dataset pass observes the identical
+  damage. This is what keeps multi-pass algorithms consistent under
+  quarantine: the surviving-row set is the same in the density pass and
+  the draw pass.
+* **Transient I/O errors** are keyed by *(pass, chunk)* — a flaky read
+  may fail on one pass and succeed on the next, and retrying the same
+  read within a pass succeeds once the planned failure count is spent.
+
+All randomness uses generators seeded from ``(tag, seed, key...)``
+tuples; nothing touches global state and no generator is shared across
+decisions, so decisions are order-independent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.validation import check_fraction, check_positive
+
+__all__ = ["ChunkFaults", "FaultPlan"]
+
+# Domain-separation tags for the per-decision generators.
+_TAG_DATA = 101
+_TAG_IO = 202
+
+
+@dataclass(frozen=True)
+class ChunkFaults:
+    """Planned persistent faults for one chunk.
+
+    Row indices refer to the chunk *after* truncation: a short read
+    drops the chunk's tail first, and value faults only ever target
+    rows that are actually delivered, so fault accounting is exact.
+
+    Attributes
+    ----------
+    nan_rows:
+        Rows whose every cell becomes NaN.
+    inf_rows:
+        Rows whose every cell becomes ``+/-inf`` (sign per row).
+    inf_signs:
+        The sign (+1.0 / -1.0) applied to each entry of ``inf_rows``.
+    corrupt_rows, corrupt_cols:
+        Coordinates of individually corrupted cells (huge-magnitude
+        finite garbage, the bit-flip lookalike).
+    corrupt_values:
+        The garbage value written at each corrupted coordinate.
+    n_truncated:
+        Trailing rows the short read silently drops.
+    """
+
+    nan_rows: np.ndarray
+    inf_rows: np.ndarray
+    inf_signs: np.ndarray
+    corrupt_rows: np.ndarray
+    corrupt_cols: np.ndarray
+    corrupt_values: np.ndarray
+    n_truncated: int
+
+    @property
+    def n_bad_value_rows(self) -> int:
+        """Distinct delivered rows carrying at least one invalid value."""
+        return np.union1d(
+            np.union1d(self.nan_rows, self.inf_rows), self.corrupt_rows
+        ).shape[0]
+
+    @property
+    def is_clean(self) -> bool:
+        """Whether this chunk carries no persistent fault at all."""
+        return (
+            self.n_truncated == 0
+            and self.nan_rows.size == 0
+            and self.inf_rows.size == 0
+            and self.corrupt_rows.size == 0
+        )
+
+
+class FaultPlan:
+    """Deterministic, seeded schedule of injected faults.
+
+    Parameters
+    ----------
+    seed:
+        Integer seed; the entire plan is a pure function of it (plus
+        the rates).
+    nan_row_rate:
+        Per-row probability of the row being replaced with NaNs.
+    inf_row_rate:
+        Per-row probability of the row being replaced with ``+/-inf``.
+    corrupt_cell_rate:
+        Per-cell probability of the cell being overwritten with
+        huge-magnitude finite garbage (catchable only by a
+        :class:`~repro.faults.RowQuarantine` with ``max_abs`` set).
+    short_read_rate:
+        Per-chunk probability of a short read truncating the chunk.
+    short_read_fraction:
+        Fraction of the chunk a short read drops (at least one row).
+    io_error_rate:
+        Per-(pass, chunk) probability of transient read failures.
+    io_failures:
+        How many consecutive attempts fail when a transient error
+        triggers; keep it at most the consumer's retry budget for runs
+        that should recover.
+    corrupt_magnitude:
+        Magnitude scale of corrupted-cell garbage values.
+    """
+
+    __slots__ = (
+        "seed",
+        "nan_row_rate",
+        "inf_row_rate",
+        "corrupt_cell_rate",
+        "short_read_rate",
+        "short_read_fraction",
+        "io_error_rate",
+        "io_failures",
+        "corrupt_magnitude",
+    )
+
+    def __init__(
+        self,
+        seed: int = 0,
+        nan_row_rate: float = 0.0,
+        inf_row_rate: float = 0.0,
+        corrupt_cell_rate: float = 0.0,
+        short_read_rate: float = 0.0,
+        short_read_fraction: float = 0.25,
+        io_error_rate: float = 0.0,
+        io_failures: int = 1,
+        corrupt_magnitude: float = 1e30,
+    ) -> None:
+        self.seed = int(seed)
+        self.nan_row_rate = check_fraction(nan_row_rate, name="nan_row_rate")
+        self.inf_row_rate = check_fraction(inf_row_rate, name="inf_row_rate")
+        self.corrupt_cell_rate = check_fraction(
+            corrupt_cell_rate, name="corrupt_cell_rate"
+        )
+        self.short_read_rate = check_fraction(
+            short_read_rate, name="short_read_rate"
+        )
+        self.short_read_fraction = check_fraction(
+            short_read_fraction, name="short_read_fraction"
+        )
+        self.io_error_rate = check_fraction(
+            io_error_rate, name="io_error_rate"
+        )
+        self.io_failures = int(
+            check_positive(io_failures, name="io_failures")
+        )
+        self.corrupt_magnitude = check_positive(
+            corrupt_magnitude, name="corrupt_magnitude"
+        )
+
+    # -- decisions -----------------------------------------------------------
+
+    def chunk_faults(
+        self, chunk_index: int, n_rows: int, n_cols: int
+    ) -> ChunkFaults:
+        """The persistent faults of chunk ``chunk_index``.
+
+        Parameters
+        ----------
+        chunk_index:
+            0-based chunk position in the stream.
+        n_rows, n_cols:
+            Raw shape of the chunk before any fault applies.
+
+        Returns
+        -------
+        ChunkFaults
+            Identical for every call with the same arguments.
+        """
+        rng = np.random.default_rng(
+            [_TAG_DATA, self.seed, int(chunk_index)]
+        )
+        n_truncated = 0
+        if self.short_read_rate and rng.random() < self.short_read_rate:
+            n_truncated = min(
+                n_rows,
+                max(1, int(round(self.short_read_fraction * n_rows))),
+            )
+        delivered = n_rows - n_truncated
+        nan_rows = np.nonzero(rng.random(delivered) < self.nan_row_rate)[0]
+        inf_mask = rng.random(delivered) < self.inf_row_rate
+        # NaN wins where both trigger, keeping the two sets disjoint.
+        inf_mask[nan_rows] = False
+        inf_rows = np.nonzero(inf_mask)[0]
+        inf_signs = np.where(rng.random(inf_rows.shape[0]) < 0.5, -1.0, 1.0)
+        cell_mask = rng.random((delivered, n_cols)) < self.corrupt_cell_rate
+        corrupt_rows, corrupt_cols = np.nonzero(cell_mask)
+        corrupt_values = (
+            np.where(rng.random(corrupt_rows.shape[0]) < 0.5, -1.0, 1.0)
+            * self.corrupt_magnitude
+            * (1.0 + rng.random(corrupt_rows.shape[0]))
+        )
+        return ChunkFaults(
+            nan_rows=nan_rows,
+            inf_rows=inf_rows,
+            inf_signs=inf_signs,
+            corrupt_rows=corrupt_rows,
+            corrupt_cols=corrupt_cols,
+            corrupt_values=corrupt_values,
+            n_truncated=n_truncated,
+        )
+
+    def io_failures_for(self, pass_index: int, chunk_index: int) -> int:
+        """Planned consecutive read failures for (pass, chunk).
+
+        Parameters
+        ----------
+        pass_index:
+            1-based dataset-pass number (a stream's ``passes`` value
+            during the pass).
+        chunk_index:
+            0-based chunk position in the stream.
+
+        Returns
+        -------
+        int
+            0 when the read succeeds immediately, otherwise the number
+            of attempts that must fail before one succeeds.
+        """
+        if not self.io_error_rate:
+            return 0
+        rng = np.random.default_rng(
+            [_TAG_IO, self.seed, int(pass_index), int(chunk_index)]
+        )
+        return self.io_failures if rng.random() < self.io_error_rate else 0
+
+    # -- accounting ----------------------------------------------------------
+
+    def corrupt_detectable_by(self, policy) -> bool:
+        """Whether ``policy`` flags this plan's corrupted-cell garbage.
+
+        Corrupted cells are *finite*, so only a policy with ``max_abs``
+        below :attr:`corrupt_magnitude` quarantines them; NaN/Inf rows
+        are always detectable.
+
+        Parameters
+        ----------
+        policy:
+            The :class:`~repro.faults.RowQuarantine` the consuming
+            stream applies.
+        """
+        return (
+            policy.max_abs is not None
+            and policy.max_abs < self.corrupt_magnitude
+        )

@@ -1,0 +1,144 @@
+"""Bounded, deterministic retries for transient stream-read failures.
+
+A :class:`RetryPolicy` retries a chunk read a fixed number of times with
+a deterministic exponential backoff *schedule*. The schedule is data —
+``delays()`` returns it — and sleeping is delegated to an injectable
+``sleep`` callable that defaults to ``None`` (no wall-clock sleeps), so
+tests exercise the full retry path without ever blocking and production
+callers opt into real backoff by passing ``sleep=time.sleep``.
+
+Retryable errors are ``OSError`` (which covers the injected
+:class:`~repro.exceptions.TransientIOError`); once the budget is
+exhausted the policy raises :class:`~repro.exceptions.StreamReadError`
+with the last underlying error attached as ``__cause__``. Every retry
+is counted under the ``retries`` observability counter.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, TypeVar
+
+from repro.exceptions import ParameterError, StreamReadError
+from repro.obs import get_recorder
+
+__all__ = ["RetryPolicy", "DEFAULT_RETRY_POLICY"]
+
+_R = TypeVar("_R")
+
+
+class RetryPolicy:
+    """Bounded retry with a deterministic exponential backoff schedule.
+
+    Parameters
+    ----------
+    max_retries:
+        Number of *re*-attempts after the first failure (0 disables
+        retrying: the first transient error is terminal).
+    base_delay:
+        Backoff before the first retry, in seconds. The default 0.0
+        keeps the schedule all-zero, so even a configured ``sleep``
+        callable never blocks unless a delay is requested explicitly.
+    multiplier:
+        Exponential growth factor of the schedule
+        (``delay_i = base_delay * multiplier**i``).
+    retry_on:
+        Exception class (or tuple of classes) treated as transient.
+        :class:`~repro.exceptions.StreamReadError` is never retried,
+        whatever this says.
+    sleep:
+        Callable invoked with each positive scheduled delay, or
+        ``None`` (the default) to record the schedule without sleeping
+        — the mode every test runs in.
+
+    Examples
+    --------
+    >>> policy = RetryPolicy(max_retries=3, base_delay=0.5)
+    >>> policy.delays()
+    [0.5, 1.0, 2.0]
+    """
+
+    __slots__ = ("max_retries", "base_delay", "multiplier", "retry_on", "sleep")
+
+    def __init__(
+        self,
+        max_retries: int = 3,
+        base_delay: float = 0.0,
+        multiplier: float = 2.0,
+        retry_on: type | tuple = (OSError,),
+        sleep: Callable[[float], object] | None = None,
+    ) -> None:
+        if max_retries < 0:
+            raise ParameterError(
+                f"max_retries must be >= 0; got {max_retries}."
+            )
+        if base_delay < 0:
+            raise ParameterError(
+                f"base_delay must be >= 0; got {base_delay}."
+            )
+        if multiplier <= 0:
+            raise ParameterError(
+                f"multiplier must be > 0; got {multiplier}."
+            )
+        self.max_retries = int(max_retries)
+        self.base_delay = float(base_delay)
+        self.multiplier = float(multiplier)
+        self.retry_on = retry_on
+        self.sleep = sleep
+
+    def delays(self) -> list[float]:
+        """The deterministic backoff schedule, one entry per retry."""
+        return [
+            self.base_delay * self.multiplier**i
+            for i in range(self.max_retries)
+        ]
+
+    def call(
+        self,
+        attempt: Callable[[int], _R],
+        *,
+        describe: str = "stream read",
+    ) -> _R:
+        """Run ``attempt`` until it succeeds or the budget is exhausted.
+
+        Parameters
+        ----------
+        attempt:
+            Callable receiving the 0-based attempt index; it must be
+            idempotent (a retried chunk read re-reads the same chunk).
+        describe:
+            Short description of the operation, used in the giving-up
+            error message.
+
+        Returns
+        -------
+        Whatever ``attempt`` returns on its first success.
+
+        Raises
+        ------
+        StreamReadError
+            When ``attempt`` raised a retryable error on the initial
+            try *and* on every one of ``max_retries`` retries.
+        """
+        recorder = get_recorder()
+        schedule = self.delays()
+        for index in range(self.max_retries + 1):
+            try:
+                return attempt(index)
+            except StreamReadError:
+                raise
+            except self.retry_on as exc:
+                if index == self.max_retries:
+                    raise StreamReadError(
+                        f"{describe} failed after {self.max_retries} "
+                        f"retr{'y' if self.max_retries == 1 else 'ies'} "
+                        f"(last error: {exc})"
+                    ) from exc
+                recorder.count("retries")
+                delay = schedule[index]
+                if self.sleep is not None and delay > 0:
+                    self.sleep(delay)
+        raise AssertionError("unreachable")  # pragma: no cover
+
+
+#: Shared default: 3 sleepless retries — resilient and test-fast.
+DEFAULT_RETRY_POLICY = RetryPolicy()

@@ -123,6 +123,16 @@ class Recorder:
                 self.spans.append(span)
 
     @property
+    def current_phase(self) -> str | None:
+        """Name of the innermost open span (``None`` outside any phase).
+
+        Lets error paths report *where* in the pipeline a failure
+        happened — e.g. a strict fault policy naming the dataset pass
+        whose chunk carried the bad rows.
+        """
+        return self._stack[-1].name if self._stack else None
+
+    @property
     def timers(self) -> dict[str, float]:
         """Total elapsed seconds per span name, aggregated over the tree."""
         totals: dict[str, float] = {}

@@ -14,6 +14,11 @@ two dataset passes plus the pass that computes the density estimator".
 The same screening machinery also estimates the *number* of DB(p, k)
 outliers in a single pass — the paper highlights this as a cheap way to
 explore ``p`` and ``k`` before committing to a full run.
+
+Both passes consume hardened streams (see :mod:`repro.faults`): under a
+quarantine policy the detector only ever sees — and reports indices
+into — the surviving rows, and the screen/verify passes observe the
+identical survivor set because persistent faults are keyed by chunk.
 """
 
 from __future__ import annotations

@@ -9,6 +9,11 @@ Two exact algorithms:
   approximate detector's precision/recall numbers.
 * :class:`IndexedOutlierDetector` — a kd-tree fixed-radius count; much
   faster in low dimensions, identical output.
+
+Both materialize their input through the hardened stream layer (see
+:mod:`repro.faults`): a strict policy rejects NaN/Inf input with a
+located error, and a quarantine policy hands the detectors the
+surviving rows only, so reported outlier indices address survivors.
 """
 
 from __future__ import annotations

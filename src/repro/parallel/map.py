@@ -22,6 +22,11 @@ Two contracts make parallelism invisible to the rest of the system:
 Tasks additionally run under ``use_n_jobs(1)``, so an estimator that
 would itself fan out (e.g. a KDE whose ``evaluate`` chunks its queries)
 stays serial inside a worker — parallelism never nests by accident.
+The caller's ambient fault policy is likewise captured at fan-out and
+installed in every worker (context variables do not cross process
+boundaries on their own), so any stream a task wraps is hardened the
+same way it would be serially — and any quarantine counts it produces
+merge back like every other counter.
 """
 
 from __future__ import annotations
@@ -29,6 +34,7 @@ from __future__ import annotations
 from functools import partial
 from typing import Callable, Iterable, TypeVar
 
+from repro.faults.policy import RowQuarantine, get_fault_policy, use_fault_policy
 from repro.obs import Recorder, get_recorder, use_recorder
 from repro.parallel.backend import get_backend, use_n_jobs
 
@@ -38,10 +44,12 @@ _T = TypeVar("_T")
 _R = TypeVar("_R")
 
 
-def _run_task(func: Callable[[_T], _R], item: _T) -> tuple[_R, dict]:
+def _run_task(
+    func: Callable[[_T], _R], policy: RowQuarantine, item: _T
+) -> tuple[_R, dict]:
     """Run one task under a fresh recorder; return (result, counters)."""
     recorder = Recorder()
-    with use_n_jobs(1), use_recorder(recorder):
+    with use_n_jobs(1), use_recorder(recorder), use_fault_policy(policy):
         result = func(item)
     return result, recorder.counters
 
@@ -80,7 +88,7 @@ def parallel_map_chunks(
         caller's ambient recorder.
     """
     pairs = get_backend(n_jobs, backend).map(
-        partial(_run_task, func), list(chunks)
+        partial(_run_task, func, get_fault_policy()), list(chunks)
     )
     merged: dict[str, float] = {}
     for _, counters in pairs:

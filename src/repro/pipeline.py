@@ -24,6 +24,7 @@ from repro.clustering.cure import CureClustering
 from repro.core.biased import BiasedSample
 from repro.core.guide import recommend_settings
 from repro.exceptions import ParameterError
+from repro.faults import use_fault_policy
 from repro.obs import Recorder, get_recorder, use_recorder
 from repro.parallel import use_n_jobs
 from repro.utils.streams import DataStream, as_stream
@@ -87,6 +88,15 @@ class ApproximateClusteringPipeline:
         ambient default / ``REPRO_N_JOBS`` resolution in place. See
         :mod:`repro.parallel`; results are byte-identical for any
         value.
+    fault_policy:
+        Invalid-row handling installed as the ambient policy for the
+        whole fit: a mode name (``"strict"``, ``"quarantine"``,
+        ``"repair"``), a :class:`repro.faults.RowQuarantine`, or
+        ``None`` to leave the ambient policy in place (default
+        strict). Streams built *inside* the fit — including the one
+        wrapping a plain ``data`` array — bind this policy; a
+        pre-built ``stream`` argument keeps the policy it was
+        constructed with.
 
     Examples
     --------
@@ -112,6 +122,7 @@ class ApproximateClusteringPipeline:
         assignment_policy: str = "representatives",
         random_state=None,
         n_jobs: int | None = None,
+        fault_policy=None,
     ) -> None:
         if n_clusters < 1:
             raise ParameterError(f"n_clusters must be >= 1; got {n_clusters}.")
@@ -123,6 +134,7 @@ class ApproximateClusteringPipeline:
         self.assignment_policy = assignment_policy
         self.random_state = random_state
         self.n_jobs = n_jobs
+        self.fault_policy = fault_policy
 
     def fit(self, data, *, stream: DataStream | None = None) -> PipelineResult:
         """Run the full pipeline over ``data`` (or an explicit stream).
@@ -132,7 +144,6 @@ class ApproximateClusteringPipeline:
         installed for the duration of the fit so
         :attr:`PipelineResult.n_passes` is still exact.
         """
-        source = stream if stream is not None else as_stream(data)
         recorder = get_recorder()
         if not recorder.enabled:
             recorder = Recorder()
@@ -141,7 +152,16 @@ class ApproximateClusteringPipeline:
             if self.n_jobs is not None
             else nullcontext()
         )
-        with use_recorder(recorder), jobs_context:
+        policy_context = (
+            use_fault_policy(self.fault_policy)
+            if self.fault_policy is not None
+            else nullcontext()
+        )
+        with use_recorder(recorder), jobs_context, policy_context:
+            # The stream is built inside the contexts so a plain array
+            # binds the pipeline's fault policy and its construction-time
+            # quarantine counts land on this recorder.
+            source = stream if stream is not None else as_stream(data)
             passes_before = recorder.counters.get("data_passes", 0)
             with recorder.phase("pipeline_fit"):
                 result = self._fit(source)

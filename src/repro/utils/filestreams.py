@@ -5,7 +5,23 @@ pass-based access pattern; these classes make it literal for datasets
 that live in files, so the one-pass estimators and two-pass samplers
 run out-of-core unchanged. Both expose the same iteration contract
 (``__iter__`` yields chunks, ``iter_with_offsets`` adds row offsets,
-``passes`` counts traversals).
+``passes`` counts traversals) and the same hardening contract as the
+in-memory stream:
+
+* every chunk is validated per pass and routed through the stream's
+  :class:`repro.faults.RowQuarantine` policy — NaN/Inf rows on disk no
+  longer reach the samplers unchecked (strict raises a typed error
+  naming the pass and chunk offset; quarantine drops and counts;
+  repair imputes from chunk statistics);
+* chunk reads go through a :class:`repro.faults.RetryPolicy`, so
+  transient ``OSError``/``TransientIOError`` failures are retried with
+  a deterministic backoff schedule before the run is abandoned with a
+  :class:`repro.exceptions.StreamReadError`;
+* under the quarantine policy a construction-time pre-scan counts the
+  invalid rows, so ``n_points`` equals the surviving-row count before
+  the first pass — the invariant offset-keyed consumers rely on. The
+  pre-scan is bookkeeping, not an algorithmic pass: it is not counted
+  in ``passes`` or the ``data_passes`` counter.
 """
 
 from __future__ import annotations
@@ -15,6 +31,7 @@ import os
 import numpy as np
 
 from repro.exceptions import DataValidationError
+from repro.obs import get_recorder
 from repro.utils.streams import DataStream
 
 __all__ = [
@@ -28,9 +45,32 @@ class NpyFileStream(DataStream):
 
     The file is memory-mapped read-only; each chunk is copied out, so
     downstream code never holds references into the map.
+
+    Parameters
+    ----------
+    path:
+        Location of the 2-D ``.npy`` file.
+    chunk_size:
+        Rows delivered per chunk (the last chunk may be smaller).
+    fault_policy:
+        Invalid-row handling: a mode name, a
+        :class:`repro.faults.RowQuarantine`, or ``None`` for the
+        ambient policy (default strict).
+    retry_policy:
+        Retry budget for chunk reads; ``None`` uses the shared
+        sleepless 3-retry default.
     """
 
-    def __init__(self, path: str, chunk_size: int = 65536) -> None:
+    def __init__(
+        self,
+        path: str,
+        chunk_size: int = 65536,
+        fault_policy=None,
+        retry_policy=None,
+    ) -> None:
+        from repro.faults.policy import resolve_fault_policy
+        from repro.faults.retry import DEFAULT_RETRY_POLICY
+
         if not os.path.exists(path):
             raise DataValidationError(f"no data file at {path!r}.")
         mapped = np.load(path, mmap_mode="r")
@@ -40,34 +80,76 @@ class NpyFileStream(DataStream):
             )
         self._mapped = mapped
         self.path = path
-        # Deliberately skip DataStream.__init__'s materialising
-        # validation; set the public fields directly.
         self.chunk_size = int(chunk_size)
         if self.chunk_size < 1:
             raise ValueError(f"chunk_size must be >= 1; got {chunk_size}.")
-        self.n_points = mapped.shape[0]
+        self.fault_policy = resolve_fault_policy(fault_policy)
+        self.retry_policy = (
+            retry_policy if retry_policy is not None else DEFAULT_RETRY_POLICY
+        )
+        self._n_raw = mapped.shape[0]
         self.n_dims = mapped.shape[1]
+        self.n_points = self._n_raw
+        if self.fault_policy.mode == "quarantine":
+            self.n_points = self._n_raw - self._prescan_invalid_rows()
+            if self.n_points == 0:
+                raise DataValidationError(
+                    f"every row of {path!r} was quarantined; the file holds "
+                    "no valid rows under the configured fault policy."
+                )
         self.passes = 0
 
-    def __iter__(self):
-        self.passes += 1
-        for start in range(0, self.n_points, self.chunk_size):
-            yield np.asarray(
+    def _prescan_invalid_rows(self) -> int:
+        """Invalid-row count over the whole file (no recorder effects)."""
+        total = 0
+        for start in range(0, self._n_raw, self.chunk_size):
+            chunk = np.asarray(
                 self._mapped[start : start + self.chunk_size],
                 dtype=np.float64,
             )
+            total += self.fault_policy.count_invalid_rows(chunk)
+        return total
+
+    def _read_chunk(self, start: int) -> np.ndarray:
+        stop = min(start + self.chunk_size, self._n_raw)
+        return self.retry_policy.call(
+            lambda attempt: np.asarray(
+                self._mapped[start:stop], dtype=np.float64
+            ),
+            describe=f"read of rows [{start}, {stop}) from {self.path!r}",
+        )
+
+    def _iterate(self):
+        self.passes += 1
+        recorder = get_recorder()
+        recorder.count("data_passes")
+        out = 0
+        for start in range(0, self._n_raw, self.chunk_size):
+            clean = self.fault_policy.apply(
+                self._read_chunk(start),
+                origin=self.path,
+                pass_index=self.passes,
+                start=start,
+            )
+            recorder.count("points_seen", clean.shape[0])
+            if clean.shape[0]:
+                yield out, clean
+                out += clean.shape[0]
+
+    def __iter__(self):
+        for _, chunk in self._iterate():
+            yield chunk
 
     def iter_with_offsets(self):
-        self.passes += 1
-        for start in range(0, self.n_points, self.chunk_size):
-            yield start, np.asarray(
-                self._mapped[start : start + self.chunk_size],
-                dtype=np.float64,
-            )
+        """Yield (surviving-row offset, hardened chunk) per chunk."""
+        yield from self._iterate()
 
     def materialize(self) -> np.ndarray:
-        self.passes += 1
-        return np.asarray(self._mapped, dtype=np.float64)
+        """All surviving rows as one array (counts as one pass)."""
+        parts = [chunk for _, chunk in self._iterate()]
+        if not parts:
+            return np.empty((0, self.n_dims))
+        return np.vstack(parts)
 
 
 class CsvFileStream(DataStream):
@@ -75,12 +157,43 @@ class CsvFileStream(DataStream):
 
     Rows are parsed lazily per pass; the whole file is never resident.
     A pre-pass at construction counts rows and validates the column
-    count (analogous to a database knowing its cardinality).
+    count (analogous to a database knowing its cardinality). Under the
+    quarantine policy the pre-pass additionally parses the file once to
+    count invalid rows, so ``n_points`` is exact up front.
+
+    Non-numeric cells are a fatal, typed error under the strict policy
+    (as they always were); under quarantine/repair they are treated as
+    missing values (NaN) and handled by the policy like any other
+    invalid cell.
+
+    Parameters
+    ----------
+    path:
+        Location of the CSV file.
+    chunk_size:
+        Rows delivered per chunk (the last chunk may be smaller).
+    delimiter:
+        Cell separator.
+    fault_policy:
+        Invalid-row handling: a mode name, a
+        :class:`repro.faults.RowQuarantine`, or ``None`` for the
+        ambient policy (default strict).
+    retry_policy:
+        Retry budget for opening the file at the start of each pass;
+        ``None`` uses the shared sleepless 3-retry default.
     """
 
     def __init__(
-        self, path: str, chunk_size: int = 65536, delimiter: str = ","
+        self,
+        path: str,
+        chunk_size: int = 65536,
+        delimiter: str = ",",
+        fault_policy=None,
+        retry_policy=None,
     ) -> None:
+        from repro.faults.policy import resolve_fault_policy
+        from repro.faults.retry import DEFAULT_RETRY_POLICY
+
         if not os.path.exists(path):
             raise DataValidationError(f"no data file at {path!r}.")
         self.path = path
@@ -88,9 +201,13 @@ class CsvFileStream(DataStream):
         self.chunk_size = int(chunk_size)
         if self.chunk_size < 1:
             raise ValueError(f"chunk_size must be >= 1; got {chunk_size}.")
+        self.fault_policy = resolve_fault_policy(fault_policy)
+        self.retry_policy = (
+            retry_policy if retry_policy is not None else DEFAULT_RETRY_POLICY
+        )
         n_points = 0
         n_dims = None
-        with open(path) as handle:
+        with self._open() as handle:
             for line in handle:
                 if not line.strip():
                     continue
@@ -105,22 +222,43 @@ class CsvFileStream(DataStream):
                 n_points += 1
         if n_points == 0:
             raise DataValidationError(f"{path!r} holds no data rows.")
-        self.n_points = n_points
+        self._n_raw = n_points
         self.n_dims = n_dims
+        self.n_points = n_points
         self.passes = 0
+        if self.fault_policy.mode == "quarantine":
+            invalid = sum(
+                self.fault_policy.count_invalid_rows(chunk)
+                for _, chunk in self._raw_chunks()
+            )
+            self.n_points = n_points - invalid
+            if self.n_points == 0:
+                raise DataValidationError(
+                    f"every row of {path!r} was quarantined; the file holds "
+                    "no valid rows under the configured fault policy."
+                )
 
-    def _chunks(self):
+    def _open(self):
+        return self.retry_policy.call(
+            lambda attempt: open(self.path),
+            describe=f"open of {self.path!r}",
+        )
+
+    def _raw_chunks(self):
+        """(raw row offset, parsed chunk) pairs for one file traversal."""
         buffer: list[str] = []
-        with open(self.path) as handle:
+        start = 0
+        with self._open() as handle:
             for line in handle:
                 if not line.strip():
                     continue
                 buffer.append(line)
                 if len(buffer) == self.chunk_size:
-                    yield self._parse(buffer)
+                    yield start, self._parse(buffer)
+                    start += len(buffer)
                     buffer = []
         if buffer:
-            yield self._parse(buffer)
+            yield start, self._parse(buffer)
 
     def _parse(self, lines: list[str]) -> np.ndarray:
         try:
@@ -131,21 +269,54 @@ class CsvFileStream(DataStream):
                 ]
             )
         except ValueError as exc:
-            raise DataValidationError(
-                f"non-numeric cell in {self.path!r}: {exc}"
-            ) from exc
+            if self.fault_policy.mode == "strict":
+                raise DataValidationError(
+                    f"non-numeric cell in {self.path!r}: {exc}"
+                ) from exc
+            # Tolerant path: unparseable cells become NaN and are then
+            # quarantined or repaired by the policy like any bad value.
+            return np.array(
+                [
+                    [_float_or_nan(cell) for cell in line.split(self.delimiter)]
+                    for line in lines
+                ]
+            )
+
+    def _iterate(self):
+        self.passes += 1
+        recorder = get_recorder()
+        recorder.count("data_passes")
+        out = 0
+        for start, chunk in self._raw_chunks():
+            clean = self.fault_policy.apply(
+                chunk,
+                origin=self.path,
+                pass_index=self.passes,
+                start=start,
+            )
+            recorder.count("points_seen", clean.shape[0])
+            if clean.shape[0]:
+                yield out, clean
+                out += clean.shape[0]
 
     def __iter__(self):
-        self.passes += 1
-        yield from self._chunks()
+        for _, chunk in self._iterate():
+            yield chunk
 
     def iter_with_offsets(self):
-        self.passes += 1
-        start = 0
-        for chunk in self._chunks():
-            yield start, chunk
-            start += chunk.shape[0]
+        """Yield (surviving-row offset, hardened chunk) per chunk."""
+        yield from self._iterate()
 
     def materialize(self) -> np.ndarray:
-        self.passes += 1
-        return np.vstack(list(self._chunks()))
+        """All surviving rows as one array (counts as one pass)."""
+        parts = [chunk for _, chunk in self._iterate()]
+        if not parts:
+            return np.empty((0, self.n_dims))
+        return np.vstack(parts)
+
+
+def _float_or_nan(cell: str) -> float:
+    try:
+        return float(cell)
+    except ValueError:
+        return float("nan")

@@ -6,6 +6,15 @@ outliers. :class:`DataStream` makes those passes explicit — algorithms
 iterate chunks rather than indexing an array — and :class:`PassCounter`
 lets tests assert that an algorithm really performed the number of passes
 it advertises.
+
+Every stream is *hardened*: rows with invalid values are handled by a
+:class:`repro.faults.RowQuarantine` policy (strict raise / quarantine /
+repair), bound at construction from the ``fault_policy`` argument or the
+ambient :func:`repro.faults.use_fault_policy` context. The in-memory
+stream applies the policy once, chunk by chunk, at construction — so
+``n_points`` always equals the number of rows the stream delivers per
+pass, the invariant samplers rely on when pre-allocating per-row
+buffers and masks keyed by stream offsets.
 """
 
 from __future__ import annotations
@@ -34,6 +43,14 @@ class DataStream:
         Array-like of shape ``(n, d)``.
     chunk_size:
         Number of rows yielded per chunk. The last chunk may be smaller.
+    fault_policy:
+        How invalid (NaN/Inf) rows are handled: a mode name
+        (``"strict"``, ``"quarantine"``, ``"repair"``), a
+        :class:`repro.faults.RowQuarantine`, or ``None`` to bind the
+        ambient policy (default strict — identical behaviour to the
+        historical unconditional validation). The policy is applied
+        chunk-wise at construction, so iteration always yields clean
+        chunks and ``n_points`` counts surviving rows only.
 
     Notes
     -----
@@ -43,14 +60,44 @@ class DataStream:
     out-of-core source exposing the same iteration contract would work.
     """
 
-    def __init__(self, data, chunk_size: int = 65536) -> None:
-        self._data = check_array(data, name="data")
+    def __init__(
+        self, data, chunk_size: int = 65536, fault_policy=None
+    ) -> None:
+        # Imported lazily: repro.faults wraps streams, so importing it at
+        # module scope would be circular.
+        from repro.faults.policy import resolve_fault_policy
+
         if chunk_size < 1:
             raise ValueError(f"chunk_size must be >= 1; got {chunk_size}.")
         self.chunk_size = int(chunk_size)
+        policy = resolve_fault_policy(fault_policy)
+        self.fault_policy = policy
+        if policy.mode == "strict" and policy.max_abs is None:
+            self._data = check_array(data, name="data")
+        else:
+            self._data = self._sanitize(
+                check_array(data, name="data", allow_nonfinite=True), policy
+            )
         self.n_points = self._data.shape[0]
         self.n_dims = self._data.shape[1]
         self.passes = 0
+
+    def _sanitize(self, arr: np.ndarray, policy) -> np.ndarray:
+        """Apply the fault policy chunk-wise (quarantine/repair semantics
+        match what a chunked pass over the same data would produce)."""
+        parts = []
+        for start in range(0, arr.shape[0], self.chunk_size):
+            chunk = arr[start : start + self.chunk_size]
+            parts.append(
+                policy.apply(chunk, origin="data", start=start)
+            )
+        clean = np.vstack(parts) if parts else arr
+        if clean.shape[0] == 0:
+            raise DataValidationError(
+                "every row was quarantined; the dataset holds no valid "
+                "rows under the configured fault policy."
+            )
+        return np.ascontiguousarray(clean)
 
     def __iter__(self) -> Iterator[np.ndarray]:
         self.passes += 1
@@ -109,7 +156,12 @@ class PassCounter:
 
 
 def as_stream(data, chunk_size: int = 65536) -> DataStream:
-    """Coerce ``data`` to a :class:`DataStream` (no-op if it already is one)."""
+    """Coerce ``data`` to a :class:`DataStream` (no-op if it already is one).
+
+    A freshly wrapped array is validated under the *ambient* fault
+    policy (see :func:`repro.faults.use_fault_policy`); an existing
+    stream keeps whatever policy it was built with.
+    """
     if isinstance(data, DataStream):
         return data
     if data is None:

@@ -34,6 +34,7 @@ def check_array(
     min_rows: int = 1,
     allow_1d: bool = False,
     dtype: DTypeLike = np.float64,
+    allow_nonfinite: bool = False,
 ) -> np.ndarray:
     """Validate and coerce ``data`` into a 2-D float array.
 
@@ -51,6 +52,10 @@ def check_array(
         Accept a 1-D array and reshape it to a single column.
     dtype:
         Target dtype of the returned array.
+    allow_nonfinite:
+        Skip the NaN/Inf check. Only the stream hardening layer should
+        pass true — it routes the dirty rows through a
+        :class:`repro.faults.RowQuarantine` policy instead of failing.
 
     Returns
     -------
@@ -84,7 +89,7 @@ def check_array(
         )
     if arr.shape[1] < 1:
         raise DataValidationError(f"{name} must have at least one column.")
-    if not np.isfinite(arr).all():
+    if not allow_nonfinite and not np.isfinite(arr).all():
         raise DataValidationError(
             f"{name} contains NaN or infinite values; clean the data first."
         )

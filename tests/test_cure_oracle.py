@@ -14,6 +14,8 @@ from repro.clustering import CureClustering
 from repro.clustering.cure import select_scattered_points
 from repro.utils.geometry import sq_distances_to
 
+pytestmark = pytest.mark.slow
+
 
 def _reference_cure(pts, n_clusters, n_reps, alpha):
     """Brute-force CURE: O(rounds * clusters^2) but unambiguous."""

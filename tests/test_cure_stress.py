@@ -11,6 +11,8 @@ import pytest
 
 from repro.clustering import CureClustering
 
+pytestmark = pytest.mark.slow
+
 
 @pytest.mark.parametrize("seed", range(4))
 @pytest.mark.parametrize("remove_outliers", [True, False])

@@ -8,6 +8,8 @@ from hypothesis.extra import numpy as hnp
 from repro.core import DensityBiasedSampler, theory
 from repro.core.weights import effective_sample_size
 from repro.density import KernelDensityEstimator, get_kernel
+from repro.faults import FaultPlan, FaultyStream
+from repro.utils.streams import DataStream
 from repro.utils.geometry import (
     ball_volume,
     pairwise_sq_distances,
@@ -179,6 +181,101 @@ class TestSamplerProperties:
             assert s_r <= s * (1 + 1e-9)
         else:
             assert s_r >= s * (1 - 1e-9)
+
+
+#: Seeded fault plans that always leave a usable number of survivors.
+fault_plans = st.builds(
+    FaultPlan,
+    seed=st.integers(0, 50),
+    nan_row_rate=st.floats(0.0, 0.08),
+    inf_row_rate=st.floats(0.0, 0.04),
+    short_read_rate=st.floats(0.0, 0.25),
+    io_error_rate=st.floats(0.0, 0.3),
+)
+
+
+def _faulted_stream(data_seed: int, plan: FaultPlan) -> FaultyStream:
+    """A quarantining stream over seeded Gaussian data with ``plan``."""
+    data = np.random.default_rng(data_seed).normal(size=(400, 2))
+    return FaultyStream(
+        DataStream(data, chunk_size=64), plan, fault_policy="quarantine"
+    )
+
+
+class TestFaultedStreamProperties:
+    """Sampler invariants must survive quarantined fault-laced streams."""
+
+    @settings(
+        max_examples=10,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(data_seed=st.integers(0, 100), plan=fault_plans)
+    def test_sampled_rows_are_survivors(self, data_seed, plan):
+        stream = _faulted_stream(data_seed, plan)
+        survivors = stream.materialize()
+        assert survivors.shape[0] == stream.n_points
+        sampler = DensityBiasedSampler(
+            sample_size=60,
+            exponent=0.5,
+            estimator=KernelDensityEstimator(n_kernels=32, random_state=0),
+            random_state=data_seed,
+        )
+        sample = sampler.sample(None, stream=stream)
+        # Every sampled row is exactly a surviving row (no quarantined
+        # row leaks into the sample, no repair blending happens).
+        np.testing.assert_array_equal(
+            sample.points, survivors[sample.indices]
+        )
+        assert np.isfinite(sample.points).all()
+        assert sample.n_source == stream.n_points
+
+    @settings(
+        max_examples=10,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(data_seed=st.integers(0, 100), plan=fault_plans)
+    def test_expected_size_monotone_in_budget(self, data_seed, plan):
+        stream = _faulted_stream(data_seed, plan)
+        estimator = KernelDensityEstimator(n_kernels=32, random_state=0)
+        estimator.fit(stream=stream)
+        expectations = []
+        for budget in (20, 60, 180):
+            sampler = DensityBiasedSampler(
+                sample_size=budget,
+                exponent=0.5,
+                estimator=estimator,
+                random_state=0,
+            )
+            sampler.sample(None, stream=stream)
+            expectations.append(sampler.probabilities_.sum())
+        assert expectations[0] <= expectations[1] + 1e-9
+        assert expectations[1] <= expectations[2] + 1e-9
+
+    @settings(max_examples=3, deadline=None)
+    @given(plan=fault_plans)
+    def test_ht_weight_sum_unbiased_over_survivors(self, plan):
+        """Horvitz-Thompson: E[sum of 1/p over the sample] equals the
+        number of surviving rows with positive inclusion probability."""
+        stream = _faulted_stream(7, plan)
+        estimator = KernelDensityEstimator(n_kernels=32, random_state=0)
+        estimator.fit(stream=stream)
+        sampler = DensityBiasedSampler(
+            sample_size=80, exponent=0.5, estimator=estimator, random_state=0
+        )
+        sampler.sample(None, stream=stream)
+        probs = sampler.probabilities_
+        reachable = probs > 0
+        variance = float(((1 - probs[reachable]) / probs[reachable]).sum())
+        rounds = 25
+        totals = []
+        for draw_seed in range(rounds):
+            sampler.random_state = draw_seed
+            sample = sampler.sample(None, stream=stream)
+            totals.append(float(sample.weights.sum()))
+        tolerance = 5.0 * np.sqrt(max(variance, 1e-12) / rounds)
+        assert abs(np.mean(totals) - reachable.sum()) <= tolerance
 
 
 class TestWeightProperties:
