@@ -104,6 +104,10 @@ class BiasedSample:
 class DensityBiasedSampler:
     """Two-pass density-biased sampler (the paper's Figure 1 algorithm).
 
+    Dataset passes: 3 — one ``fit_density`` scan (when the estimator
+    arrives unfitted), one ``eval_density`` scan to compute the exact
+    normaliser, and one ``draw`` scan for the Bernoulli draws.
+
     Parameters
     ----------
     sample_size:
@@ -152,6 +156,9 @@ class DensityBiasedSampler:
     >>> bool((sample.indices < 2000).mean() > 0.6)  # dense oversampled
     True
     """
+
+    #: Per-phase dataset scans of sample() (audited statically by RA001).
+    __n_passes__ = {"fit_density": 1, "eval_density": 1, "draw": 1}
 
     def __init__(
         self,

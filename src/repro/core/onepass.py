@@ -33,6 +33,11 @@ __all__ = ["OnePassBiasedSampler"]
 class OnePassBiasedSampler(DensityBiasedSampler):
     """Single sampling pass with an estimated normaliser.
 
+    Dataset passes: 3 — ``fit_density``, ``estimate_normalizer`` and
+    ``draw`` each scan at most once (the normaliser scan is skipped
+    entirely when a kernel estimator's centers can be reused as the
+    pilot, which is the paper's one-pass configuration).
+
     Parameters are those of :class:`DensityBiasedSampler` plus:
 
     pilot_size:
@@ -41,6 +46,9 @@ class OnePassBiasedSampler(DensityBiasedSampler):
         :class:`KernelDensityEstimator` its own centers are reused and no
         extra data is read).
     """
+
+    #: Per-phase scan ceilings of sample() (audited statically by RA001).
+    __n_passes__ = {"fit_density": 1, "estimate_normalizer": 1, "draw": 1}
 
     def __init__(
         self,

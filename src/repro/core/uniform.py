@@ -23,6 +23,9 @@ __all__ = ["UniformSampler"]
 class UniformSampler:
     """Uniform (unbiased) random sampling.
 
+    Dataset passes: 1 — both the Bernoulli and the reservoir mode draw
+    in a single scan.
+
     Parameters
     ----------
     sample_size:
@@ -33,6 +36,9 @@ class UniformSampler:
     random_state:
         Seed or generator for the draws.
     """
+
+    #: Per-phase dataset scans of sample() (audited statically by RA001).
+    __n_passes__ = {"draw": 1}
 
     def __init__(
         self,

@@ -20,11 +20,22 @@ __all__ = ["DensityEstimator"]
 
 
 class DensityEstimator(abc.ABC):
-    """Base class: fit on one dataset pass, then evaluate anywhere.
+    """Base class: fit on a bounded number of dataset passes, then
+    evaluate anywhere.
 
     Subclasses must set ``n_points_`` and ``n_dims_`` during :meth:`fit`
     and implement :meth:`_evaluate` on raw (unscaled) coordinates.
+
+    ``__n_passes__`` declares how many dataset scans :meth:`fit` costs;
+    the class-level value of 1 is the *contract* assumed by callers that
+    receive an estimator dynamically (and by the ``repro-audit`` RA001
+    static check at such call sites). Subclasses whose fit needs more
+    scans (e.g. bounds pass + counting pass) must override it with
+    their true count.
     """
+
+    #: Dataset scans one fit() costs (audited statically by RA001).
+    __n_passes__ = 1
 
     n_points_: int | None = None
     n_dims_: int | None = None

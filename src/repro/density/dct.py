@@ -24,6 +24,9 @@ __all__ = ["DctDensityEstimator"]
 class DctDensityEstimator(DensityEstimator):
     """Top-m DCT coefficients of an equi-width histogram.
 
+    Dataset passes: 2 — a bounding-box scan followed by the histogram
+    counting scan the DCT is taken over.
+
     Parameters
     ----------
     bins_per_dim:
@@ -31,6 +34,8 @@ class DctDensityEstimator(DensityEstimator):
     n_coefficients:
         DCT coefficients retained.
     """
+
+    __n_passes__ = 2
 
     def __init__(self, bins_per_dim: int = 32, n_coefficients: int = 1000):
         if bins_per_dim < 2:

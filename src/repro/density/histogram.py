@@ -23,6 +23,10 @@ __all__ = ["GridDensityEstimator"]
 class GridDensityEstimator(DensityEstimator):
     """Equi-width grid histogram over the data bounding box.
 
+    Dataset passes: 2 — one scan finds the bounding box, one counts
+    cell occupancies (the box scan still runs when ``bounds`` is given;
+    see Notes for the single-pass escape hatch).
+
     Parameters
     ----------
     bins_per_dim:
@@ -38,6 +42,8 @@ class GridDensityEstimator(DensityEstimator):
     find the box, one to count); pass ``bounds=(mins, maxs)`` to fit in a
     single pass like the paper's kernel estimator.
     """
+
+    __n_passes__ = 2
 
     def __init__(self, bins_per_dim: int = 32, bounds=None) -> None:
         if bins_per_dim < 1:

@@ -63,6 +63,9 @@ class _StreamingMoments:
 class KernelDensityEstimator(DensityEstimator):
     """Product-kernel density estimator with reservoir-sampled centers.
 
+    Dataset passes: 1 — centers (reservoir) and bandwidth moments are
+    both collected in the single fit scan.
+
     Parameters
     ----------
     n_kernels:
@@ -90,6 +93,8 @@ class KernelDensityEstimator(DensityEstimator):
     >>> float(kde.evaluate([[0.0, 0.0]])[0]) > float(kde.evaluate([[4.0, 4.0]])[0])
     True
     """
+
+    __n_passes__ = 1
 
     def __init__(
         self,

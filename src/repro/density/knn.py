@@ -26,6 +26,9 @@ __all__ = ["KnnDensityEstimator"]
 class KnnDensityEstimator(DensityEstimator):
     """Density from the distance to the k-th nearest sampled point.
 
+    Dataset passes: 1 — the reservoir that keeps the reference points
+    fills in a single fit scan.
+
     Parameters
     ----------
     n_sample:
@@ -36,6 +39,8 @@ class KnnDensityEstimator(DensityEstimator):
     random_state:
         Seed or generator for the reservoir draws.
     """
+
+    __n_passes__ = 1
 
     def __init__(self, n_sample: int = 1000, k: int = 10, random_state=None):
         if n_sample < 1:

@@ -76,6 +76,9 @@ def _haar_axis(values: np.ndarray, axis: int, inverse: bool) -> np.ndarray:
 class WaveletDensityEstimator(DensityEstimator):
     """Top-m Haar coefficients of an equi-width histogram.
 
+    Dataset passes: 2 — a bounding-box scan followed by the histogram
+    counting scan the Haar transform is taken over.
+
     Parameters
     ----------
     bins_per_dim:
@@ -90,6 +93,8 @@ class WaveletDensityEstimator(DensityEstimator):
     are clipped to zero at evaluation, which slightly redistributes
     mass — the classic wavelet-histogram trade-off.
     """
+
+    __n_passes__ = 2
 
     def __init__(self, bins_per_dim: int = 32, n_coefficients: int = 1000):
         if bins_per_dim < 2 or bins_per_dim & (bins_per_dim - 1):

@@ -25,6 +25,7 @@ or from the CLI: ``repro run fig4 --trace --metrics-out metrics.jsonl``.
 """
 
 from repro.obs.manifest import RunManifest, collect_environment
+from repro.obs.schema import COUNTER_SCHEMA, CounterSpec, counter_names
 from repro.obs.recorder import (
     NULL_RECORDER,
     Recorder,
@@ -37,12 +38,15 @@ from repro.obs.recorder import (
 )
 
 __all__ = [
+    "COUNTER_SCHEMA",
+    "CounterSpec",
     "NULL_RECORDER",
     "Recorder",
     "RunManifest",
     "Span",
     "Stopwatch",
     "collect_environment",
+    "counter_names",
     "format_spans",
     "get_recorder",
     "recording",

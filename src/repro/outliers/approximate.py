@@ -40,6 +40,11 @@ __all__ = ["ApproximateOutlierDetector"]
 class ApproximateOutlierDetector(OutlierDetector):
     """Density screening + exact verification for DB(p, k) outliers.
 
+    Dataset passes: 3 — ``fit_density`` (when the estimator arrives
+    unfitted), the ``screen`` scan that evaluates each point's
+    approximate neighbourhood mass, and the ``verify`` scan that counts
+    exact neighbours of the surviving candidates.
+
     Parameters
     ----------
     k:
@@ -78,6 +83,9 @@ class ApproximateOutlierDetector(OutlierDetector):
         Seed or generator for the Monte-Carlo draws (and the default
         estimator's reservoir).
     """
+
+    #: Per-phase dataset scans of detect() (audited statically by RA001).
+    __n_passes__ = {"fit_density": 1, "screen": 1, "verify": 1}
 
     def __init__(
         self,

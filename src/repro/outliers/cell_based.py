@@ -37,6 +37,9 @@ __all__ = ["CellBasedOutlierDetector"]
 class CellBasedOutlierDetector(OutlierDetector):
     """Exact DB(p, k) outliers via the Knorr-Ng cell grid.
 
+    Dataset passes: 1 — one materialising scan; cell colouring and the
+    per-cell refinements then run over the in-memory copy.
+
     Parameters
     ----------
     k:
@@ -61,6 +64,9 @@ class CellBasedOutlierDetector(OutlierDetector):
     >>> result.indices.tolist()
     [300]
     """
+
+    #: Dataset scans one detect() costs (audited statically by RA001).
+    __n_passes__ = 1
 
     def __init__(
         self,

@@ -71,6 +71,9 @@ def _count_outer_block(
 class NestedLoopOutlierDetector(OutlierDetector):
     """Block nested-loop exact DB(p, k) detection.
 
+    Dataset passes: 1 — the dataset is materialised once; the nested
+    block loops then run over the in-memory copy.
+
     Parameters
     ----------
     k:
@@ -89,6 +92,9 @@ class NestedLoopOutlierDetector(OutlierDetector):
         Outer blocks are independent, so results are byte-identical
         for any value.
     """
+
+    #: Dataset scans one detect() costs (audited statically by RA001).
+    __n_passes__ = 1
 
     def __init__(
         self,
@@ -130,9 +136,15 @@ class NestedLoopOutlierDetector(OutlierDetector):
 class IndexedOutlierDetector(OutlierDetector):
     """kd-tree exact DB(p, k) detection.
 
+    Dataset passes: 1 — one materialising scan builds the tree; the
+    fixed-radius queries then run in memory.
+
     Same output as the nested-loop detector; the tree turns each
     neighbourhood count into a fixed-radius query.
     """
+
+    #: Dataset scans one detect() costs (audited statically by RA001).
+    __n_passes__ = 1
 
     def __init__(
         self, k: float, p: int | None = None, fraction: float | None = None

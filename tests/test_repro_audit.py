@@ -1,0 +1,723 @@
+"""Tests for tools/repro_audit: every rule positive + negative +
+suppression, why-traces, the SARIF reporter (validated against an
+embedded SARIF 2.1.0 subset schema), the CLI exit codes, and the tier
+gates that pin ``src/repro`` audit-clean and the samplers' static pass
+counts."""
+
+from __future__ import annotations
+
+import json
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT) not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT))
+
+from tools.astkit import build_model, collect_python_files  # noqa: E402
+from tools.repro_audit import audit_paths, iter_rules  # noqa: E402
+from tools.repro_audit.__main__ import main  # noqa: E402
+from tools.repro_audit.graph import CallGraph  # noqa: E402
+from tools.repro_audit.reporting import render_json, render_sarif  # noqa: E402
+from tools.repro_audit.rules_passes import entry_pass_counts  # noqa: E402
+
+
+def audit_snippet(tmp_path: Path, source: str, *, select=None, name="mod.py"):
+    """Write ``source`` to a scratch module and audit it."""
+    path = tmp_path / name
+    path.write_text(textwrap.dedent(source))
+    return audit_paths([path], select=select)
+
+
+def codes(findings) -> list[str]:
+    return [f.rule for f in findings]
+
+
+# ---------------------------------------------------------------------------
+# RA001 — pass-count audit
+# ---------------------------------------------------------------------------
+
+
+ONE_SCAN_SAMPLER = """
+    class GoodSampler:
+        '''One-scan sampler.
+
+        Dataset passes: 1
+        '''
+
+        __n_passes__ = 1
+
+        def sample(self, data=None, *, stream=None):
+            out = []
+            for chunk in stream:
+                out.append(chunk)
+            return out
+    """
+
+
+class TestRA001:
+    def test_declared_matching_scan_count_clean(self, tmp_path):
+        assert audit_snippet(tmp_path, ONE_SCAN_SAMPLER, select=["RA001"]) == []
+
+    def test_mismatched_declaration_flagged(self, tmp_path):
+        found = audit_snippet(
+            tmp_path,
+            """
+            class DoubleScan:
+                '''Dataset passes: 1'''
+
+                __n_passes__ = 1
+
+                def sample(self, data=None, *, stream=None):
+                    for chunk in stream:
+                        pass
+                    for chunk in stream:
+                        pass
+            """,
+            select=["RA001"],
+        )
+        assert codes(found) == ["RA001"]
+        assert "__n_passes__ declares 1" in found[0].message
+        assert "2" in found[0].message
+
+    def test_missing_declaration_flagged(self, tmp_path):
+        found = audit_snippet(
+            tmp_path,
+            """
+            class Undeclared:
+                def sample(self, data=None, *, stream=None):
+                    for chunk in stream:
+                        pass
+            """,
+            select=["RA001"],
+        )
+        assert codes(found) == ["RA001"]
+        assert "no __n_passes__" in found[0].message
+
+    def test_scan_inside_loop_unbounded(self, tmp_path):
+        found = audit_snippet(
+            tmp_path,
+            """
+            class Rescanner:
+                '''Dataset passes: 1'''
+
+                __n_passes__ = 1
+
+                def sample(self, data=None, *, stream=None):
+                    while True:
+                        for chunk in stream:
+                            pass
+            """,
+            select=["RA001"],
+        )
+        assert any("unbounded" in f.message for f in found)
+
+    def test_cross_function_scan_carries_why_trace(self, tmp_path):
+        found = audit_snippet(
+            tmp_path,
+            """
+            def _drain(source):
+                for chunk in source:
+                    pass
+
+            class Delegating:
+                '''Dataset passes: 1'''
+
+                __n_passes__ = 1
+
+                def sample(self, data=None, *, stream=None):
+                    _drain(stream)
+                    _drain(stream)
+            """,
+            select=["RA001"],
+        )
+        assert codes(found) == ["RA001"]
+        # The mismatch finding explains *where* the scans are via the
+        # call-graph trace: the hops reach the helper's scan on line 3.
+        assert found[0].trace
+        assert any("mod.py:3" in hop for hop in found[0].trace)
+
+    def test_docstring_drift_flagged(self, tmp_path):
+        found = audit_snippet(
+            tmp_path,
+            """
+            class Drifted:
+                '''Dataset passes: 2'''
+
+                __n_passes__ = 1
+
+                def sample(self, data=None, *, stream=None):
+                    for chunk in stream:
+                        pass
+            """,
+            select=["RA001"],
+        )
+        assert codes(found) == ["RA001"]
+        assert "Dataset passes: 2" in found[0].message
+        assert found[0].anchor.endswith("__doc__")
+
+    def test_branches_take_max_not_sum(self, tmp_path):
+        found = audit_snippet(
+            tmp_path,
+            """
+            class Either:
+                '''Dataset passes: 1'''
+
+                __n_passes__ = 1
+
+                def sample(self, data=None, *, stream=None, fast=True):
+                    if fast:
+                        for chunk in stream:
+                            pass
+                    else:
+                        for chunk in stream:
+                            pass
+            """,
+            select=["RA001"],
+        )
+        assert found == []
+
+
+# ---------------------------------------------------------------------------
+# RA002 — parallel-determinism audit
+# ---------------------------------------------------------------------------
+
+
+class TestRA002:
+    def test_rng_in_worker_flagged(self, tmp_path):
+        found = audit_snippet(
+            tmp_path,
+            """
+            import numpy as np
+
+            def _worker(chunk):
+                rng = np.random.default_rng()
+                return rng.random(3)
+
+            def run(chunks):
+                return parallel_map_chunks(_worker, chunks)
+            """,
+            select=["RA002"],
+        )
+        assert "RA002" in codes(found)
+        assert any("default_rng" in f.message for f in found)
+        # The trace walks from the dispatch site into the worker.
+        flagged = [f for f in found if "default_rng" in f.message][0]
+        assert any("dispatched by" in hop for hop in flagged.trace)
+
+    def test_pure_worker_clean(self, tmp_path):
+        found = audit_snippet(
+            tmp_path,
+            """
+            def _worker(chunk):
+                return chunk.sum()
+
+            def run(chunks):
+                return parallel_map_chunks(_worker, chunks)
+            """,
+            select=["RA002"],
+        )
+        assert found == []
+
+    def test_context_installer_in_worker_flagged(self, tmp_path):
+        found = audit_snippet(
+            tmp_path,
+            """
+            def _worker(chunk):
+                use_recorder(None)
+                return chunk
+
+            def run(chunks):
+                return parallel_map_chunks(_worker, chunks)
+            """,
+            select=["RA002"],
+        )
+        assert codes(found) == ["RA002"]
+        assert "use_recorder" in found[0].message
+
+    def test_rng_outside_worker_not_flagged(self, tmp_path):
+        found = audit_snippet(
+            tmp_path,
+            """
+            import numpy as np
+
+            def _worker(chunk):
+                return chunk.sum()
+
+            def run(chunks, seed):
+                rng = np.random.default_rng(seed)
+                order = rng.permutation(len(chunks))
+                return parallel_map_chunks(_worker, [chunks[i] for i in order])
+            """,
+            select=["RA002"],
+        )
+        assert found == []
+
+
+# ---------------------------------------------------------------------------
+# RA003 — exception-contract audit
+# ---------------------------------------------------------------------------
+
+
+class TestRA003:
+    def test_give_up_inheriting_oserror_flagged(self, tmp_path):
+        found = audit_snippet(
+            tmp_path,
+            """
+            class StreamReadError(OSError):
+                pass
+            """,
+            select=["RA003"],
+        )
+        assert codes(found) == ["RA003"]
+        assert "OSError" in found[0].message
+
+    def test_give_up_outside_os_hierarchy_clean(self, tmp_path):
+        found = audit_snippet(
+            tmp_path,
+            """
+            class StreamReadError(Exception):
+                pass
+            """,
+            select=["RA003"],
+        )
+        assert found == []
+
+    def test_except_oserror_wrapping_give_up_flagged(self, tmp_path):
+        found = audit_snippet(
+            tmp_path,
+            """
+            class StreamReadError(Exception):
+                pass
+
+            def read_all(path):
+                try:
+                    raise StreamReadError("retries exhausted")
+                except OSError:
+                    return None
+            """,
+            select=["RA003"],
+        )
+        assert codes(found) == ["RA003"]
+        assert "except OSError" in found[0].message
+
+    def test_except_oserror_around_plain_io_clean(self, tmp_path):
+        found = audit_snippet(
+            tmp_path,
+            """
+            class StreamReadError(Exception):
+                pass
+
+            def read_all(path):
+                try:
+                    return open(path).read()
+                except OSError:
+                    return None
+            """,
+            select=["RA003"],
+        )
+        assert found == []
+
+    def test_swallowed_give_up_flagged(self, tmp_path):
+        found = audit_snippet(
+            tmp_path,
+            """
+            class StreamReadError(Exception):
+                pass
+
+            def read_all(path):
+                try:
+                    raise StreamReadError("retries exhausted")
+                except StreamReadError:
+                    return None
+            """,
+            select=["RA003"],
+        )
+        assert codes(found) == ["RA003"]
+        assert "swallow" in found[0].message
+
+    def test_reraised_give_up_clean(self, tmp_path):
+        found = audit_snippet(
+            tmp_path,
+            """
+            class StreamReadError(Exception):
+                pass
+
+            def read_all(path):
+                try:
+                    raise StreamReadError("retries exhausted")
+                except StreamReadError:
+                    raise
+            """,
+            select=["RA003"],
+        )
+        assert found == []
+
+
+# ---------------------------------------------------------------------------
+# RA004 — counter-schema audit
+# ---------------------------------------------------------------------------
+
+
+class TestRA004:
+    def test_unregistered_increment_flagged(self, tmp_path):
+        found = audit_snippet(
+            tmp_path,
+            """
+            COUNTER_SCHEMA = {"rows_seen": None}
+
+            def f(rec):
+                rec.count("rows_seen", 1)
+                rec.count("mystery_counter", 1)
+            """,
+            select=["RA004"],
+        )
+        assert codes(found) == ["RA004"]
+        assert "mystery_counter" in found[0].message
+        assert found[0].anchor == "mystery_counter"
+        assert found[0].trace  # names the incrementing function
+
+    def test_dead_registry_entry_flagged(self, tmp_path):
+        found = audit_snippet(
+            tmp_path,
+            """
+            COUNTER_SCHEMA = {"rows_seen": None, "never_bumped": None}
+
+            def f(rec):
+                rec.count("rows_seen", 1)
+            """,
+            select=["RA004"],
+        )
+        assert codes(found) == ["RA004"]
+        assert "never_bumped" in found[0].message
+
+    def test_missing_registry_flagged_once(self, tmp_path):
+        found = audit_snippet(
+            tmp_path,
+            """
+            def f(rec):
+                rec.count("rows_seen", 1)
+                rec.count("cols_seen", 1)
+            """,
+            select=["RA004"],
+        )
+        assert codes(found) == ["RA004"]
+        assert "no COUNTER_SCHEMA" in found[0].message
+
+    def test_annotated_registry_binding_recognised(self, tmp_path):
+        found = audit_snippet(
+            tmp_path,
+            """
+            COUNTER_SCHEMA: dict = {"rows_seen": None}
+
+            def f(rec):
+                rec.count("rows_seen", 1)
+            """,
+            select=["RA004"],
+        )
+        assert found == []
+
+    def test_str_count_lookalike_ignored(self, tmp_path):
+        found = audit_snippet(
+            tmp_path,
+            """
+            COUNTER_SCHEMA = {"rows_seen": None}
+
+            def f(rec, text):
+                rec.count("rows_seen", 1)
+                return "abc".count("a") + [1, 2].count(1)
+            """,
+            select=["RA004"],
+        )
+        assert found == []
+
+
+# ---------------------------------------------------------------------------
+# Suppression + syntax handling
+# ---------------------------------------------------------------------------
+
+
+class TestRunner:
+    def test_file_level_suppression(self, tmp_path):
+        found = audit_snippet(
+            tmp_path,
+            """
+            # justified: fixture exercises the auditor itself
+            # repro-audit: disable=RA001
+            class Undeclared:
+                def sample(self, data=None, *, stream=None):
+                    for chunk in stream:
+                        pass
+            """,
+            select=["RA001"],
+        )
+        assert found == []
+
+    def test_suppression_is_per_rule(self, tmp_path):
+        found = audit_snippet(
+            tmp_path,
+            """
+            # repro-audit: disable=RA004
+            class StreamReadError(OSError):
+                pass
+            """,
+            select=["RA003"],
+        )
+        assert codes(found) == ["RA003"]
+
+    def test_syntax_error_reported_not_fatal(self, tmp_path):
+        found = audit_snippet(tmp_path, "def broken(:\n    pass\n")
+        assert codes(found) == ["RA000"]
+
+
+# ---------------------------------------------------------------------------
+# Reporters
+# ---------------------------------------------------------------------------
+
+
+#: Subset of the SARIF 2.1.0 schema: the structural properties GitHub
+#: code scanning requires of an upload. Embedded so validation needs no
+#: network access.
+SARIF_SUBSET_SCHEMA = {
+    "type": "object",
+    "required": ["version", "runs"],
+    "properties": {
+        "version": {"const": "2.1.0"},
+        "$schema": {"type": "string"},
+        "runs": {
+            "type": "array",
+            "minItems": 1,
+            "items": {
+                "type": "object",
+                "required": ["tool", "results"],
+                "properties": {
+                    "tool": {
+                        "type": "object",
+                        "required": ["driver"],
+                        "properties": {
+                            "driver": {
+                                "type": "object",
+                                "required": ["name"],
+                                "properties": {
+                                    "name": {"type": "string"},
+                                    "rules": {
+                                        "type": "array",
+                                        "items": {
+                                            "type": "object",
+                                            "required": ["id"],
+                                        },
+                                    },
+                                },
+                            }
+                        },
+                    },
+                    "results": {
+                        "type": "array",
+                        "items": {
+                            "type": "object",
+                            "required": ["ruleId", "message", "locations"],
+                            "properties": {
+                                "ruleId": {"type": "string"},
+                                "message": {
+                                    "type": "object",
+                                    "required": ["text"],
+                                },
+                                "locations": {
+                                    "type": "array",
+                                    "minItems": 1,
+                                    "items": {
+                                        "type": "object",
+                                        "required": ["physicalLocation"],
+                                        "properties": {
+                                            "physicalLocation": {
+                                                "type": "object",
+                                                "required": [
+                                                    "artifactLocation",
+                                                    "region",
+                                                ],
+                                            }
+                                        },
+                                    },
+                                },
+                                "codeFlows": {
+                                    "type": "array",
+                                    "items": {
+                                        "type": "object",
+                                        "required": ["threadFlows"],
+                                    },
+                                },
+                                "partialFingerprints": {"type": "object"},
+                            },
+                        },
+                    },
+                },
+            },
+        },
+    },
+}
+
+
+def _sample_findings(tmp_path):
+    return audit_snippet(
+        tmp_path,
+        """
+        class Undeclared:
+            def sample(self, data=None, *, stream=None):
+                for chunk in stream:
+                    pass
+        """,
+        select=["RA001"],
+    )
+
+
+class TestReporters:
+    def test_json_roundtrip(self, tmp_path):
+        found = _sample_findings(tmp_path)
+        payload = json.loads(render_json(found))
+        assert payload["count"] == len(found) > 0
+        assert payload["findings"][0]["rule"] == "RA001"
+
+    def test_sarif_validates_against_subset_schema(self, tmp_path):
+        jsonschema = pytest.importorskip("jsonschema")
+        found = _sample_findings(tmp_path)
+        log = json.loads(render_sarif(found, iter_rules()))
+        jsonschema.validate(log, SARIF_SUBSET_SCHEMA)
+
+    def test_sarif_carries_fingerprints_and_rule_ids(self, tmp_path):
+        found = _sample_findings(tmp_path)
+        log = json.loads(render_sarif(found, iter_rules()))
+        run = log["runs"][0]
+        assert {r["id"] for r in run["tool"]["driver"]["rules"]} >= {
+            "RA001",
+            "RA002",
+            "RA003",
+            "RA004",
+        }
+        result = run["results"][0]
+        assert result["ruleId"] == "RA001"
+        assert "reproAudit/v1" in result["partialFingerprints"]
+
+    def test_sarif_code_flow_mirrors_trace(self, tmp_path):
+        found = audit_snippet(
+            tmp_path,
+            """
+            def _drain(source):
+                for chunk in source:
+                    pass
+
+            class Delegating:
+                '''Dataset passes: 1'''
+
+                __n_passes__ = 1
+
+                def sample(self, data=None, *, stream=None):
+                    _drain(stream)
+                    _drain(stream)
+            """,
+            select=["RA001"],
+        )
+        log = json.loads(render_sarif(found, iter_rules()))
+        result = log["runs"][0]["results"][0]
+        locations = result["codeFlows"][0]["threadFlows"][0]["locations"]
+        # One location per trace hop plus the terminal finding location.
+        assert len(locations) == len(found[0].trace) + 1
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+
+class TestCli:
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        path = tmp_path / "ok.py"
+        path.write_text(textwrap.dedent(ONE_SCAN_SAMPLER))
+        assert main([str(path), "--no-baseline"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, tmp_path, capsys):
+        path = tmp_path / "bad.py"
+        path.write_text("class StreamReadError(OSError):\n    pass\n")
+        assert main([str(path), "--no-baseline"]) == 1
+        assert "RA003" in capsys.readouterr().out
+
+    def test_unknown_rule_exits_two(self, tmp_path, capsys):
+        path = tmp_path / "ok.py"
+        path.write_text("x = 1\n")
+        assert main([str(path), "--select", "RA999"]) == 2
+
+    def test_missing_path_exits_two(self, tmp_path):
+        assert main([str(tmp_path / "absent.py")]) == 2
+
+    def test_baseline_accepts_existing_findings(self, tmp_path, capsys):
+        path = tmp_path / "bad.py"
+        path.write_text("class StreamReadError(OSError):\n    pass\n")
+        baseline = tmp_path / "baseline.txt"
+        assert main([str(path), "--baseline", str(baseline), "--write-baseline"]) == 0
+        capsys.readouterr()
+        assert main([str(path), "--baseline", str(baseline)]) == 0
+        out = capsys.readouterr().out
+        assert "clean" in out
+
+    def test_sarif_output_to_file(self, tmp_path):
+        path = tmp_path / "bad.py"
+        path.write_text("class StreamReadError(OSError):\n    pass\n")
+        out = tmp_path / "audit.sarif"
+        assert (
+            main(
+                [
+                    str(path),
+                    "--no-baseline",
+                    "--format",
+                    "sarif",
+                    "--output",
+                    str(out),
+                ]
+            )
+            == 1
+        )
+        assert json.loads(out.read_text())["version"] == "2.1.0"
+
+
+# ---------------------------------------------------------------------------
+# Tier gates on the real tree
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def src_graph():
+    project, issues = build_model(
+        collect_python_files([REPO_ROOT / "src" / "repro"]),
+        tool="repro-audit",
+    )
+    assert issues == []
+    return CallGraph(project)
+
+
+class TestSrcRepro:
+    def test_src_repro_is_audit_clean(self):
+        assert audit_paths([REPO_ROOT / "src" / "repro"]) == []
+
+    def test_one_pass_sampler_fit_is_statically_one_scan(self, src_graph):
+        counts = entry_pass_counts(src_graph, "OnePassBiasedSampler")
+        assert counts["fit_density"] == 1
+        assert counts == {
+            "fit_density": 1,
+            "estimate_normalizer": 1,
+            "draw": 1,
+        }
+
+    def test_two_pass_sampler_totals_three_scans(self, src_graph):
+        # The pipeline's documented data_passes == 4 is these three
+        # sampler scans plus the full-dataset cluster-assignment pass
+        # (pinned at runtime in tests/test_obs.py).
+        counts = entry_pass_counts(src_graph, "DensityBiasedSampler")
+        assert sum(counts.values()) == 3
+
+    def test_kde_fit_is_one_scan(self, src_graph):
+        assert entry_pass_counts(src_graph, "KernelDensityEstimator") == {
+            None: 1
+        }

@@ -1,1 +1,3 @@
 """Developer tooling for the repro repository (not shipped with the package)."""
+
+__all__: list[str] = []

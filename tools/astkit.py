@@ -1,0 +1,277 @@
+"""Shared AST toolkit for the repo's static-analysis passes.
+
+Both in-house analysers — ``tools/repro_lint`` (per-file rule lint) and
+``tools/repro_audit`` (whole-program call-graph audit) — need the same
+substrate: walk paths for Python files, parse them without importing
+anything, name each file as a dotted module, collect per-file
+suppression comments, and address sibling modules through a light
+project model. This module is that substrate; the tools layer their
+rule machinery on top.
+
+The whole kit is import-free with respect to the analysed code: files
+are only ever read and parsed, so broken or dependency-missing trees
+can still be analysed.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator
+
+__all__ = [
+    "LIBRARY_EXCLUDED_PARTS",
+    "ModuleInfo",
+    "ProjectModel",
+    "SyntaxIssue",
+    "bindings_of",
+    "build_model",
+    "collect_python_files",
+    "display_path",
+    "module_name",
+    "parse_suppressions",
+]
+
+#: Directory names whose files are not "library code" (rules that only
+#: apply to the shipped library, like RL001, skip them).
+LIBRARY_EXCLUDED_PARTS = frozenset({"tests", "benchmarks", "examples"})
+
+
+def _suppress_re(tool: str) -> re.Pattern:
+    """Suppression-comment pattern for ``tool`` (e.g. ``repro-lint``).
+
+    Matches ``# <tool>: disable=XX001,XX004`` where the rule prefix is
+    any run of capital letters.
+    """
+    return re.compile(
+        rf"#\s*{re.escape(tool)}\s*:\s*disable\s*=\s*"
+        r"(?P<codes>[A-Z]+\d{3}(?:\s*,\s*[A-Z]+\d{3})*)"
+    )
+
+
+def parse_suppressions(source: str, tool: str = "repro-lint") -> frozenset[str]:
+    """Rule codes disabled for a file via ``# <tool>: disable=...``."""
+    codes: set[str] = set()
+    for match in _suppress_re(tool).finditer(source):
+        codes.update(c.strip() for c in match.group("codes").split(","))
+    return frozenset(codes)
+
+
+@dataclass
+class ModuleInfo:
+    """A parsed source file plus the metadata rules need.
+
+    Attributes
+    ----------
+    path:
+        Filesystem path of the file.
+    display_path:
+        Path string used in reports (relative when possible).
+    module:
+        Dotted module name (``repro.density.kde``) when the file sits in
+        a package; the bare stem otherwise.
+    tree:
+        Parsed :class:`ast.Module`.
+    source:
+        Raw file contents.
+    suppressed:
+        Rule codes disabled for this file.
+    is_library:
+        False for files under ``tests/``, ``benchmarks/`` or
+        ``examples/`` directories.
+    """
+
+    path: Path
+    display_path: str
+    module: str
+    tree: ast.Module
+    source: str
+    suppressed: frozenset[str] = frozenset()
+    is_library: bool = True
+
+    @property
+    def is_init(self) -> bool:
+        return self.path.name == "__init__.py"
+
+    @property
+    def is_main(self) -> bool:
+        return self.path.name == "__main__.py"
+
+    def top_level_bindings(self) -> set[str]:
+        """Names bound at module top level (defs, classes, imports, assigns)."""
+        bound: set[str] = set()
+        for node in self.tree.body:
+            bound.update(bindings_of(node))
+        return bound
+
+
+def bindings_of(node: ast.stmt) -> Iterator[str]:
+    """Names a single top-level statement binds in the module namespace."""
+    if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+        yield node.name
+    elif isinstance(node, ast.Import):
+        for alias in node.names:
+            yield alias.asname or alias.name.split(".")[0]
+    elif isinstance(node, ast.ImportFrom):
+        for alias in node.names:
+            if alias.name == "*":
+                continue
+            yield alias.asname or alias.name
+    elif isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+        targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+        for target in targets:
+            for leaf in ast.walk(target):
+                if isinstance(leaf, ast.Name):
+                    yield leaf.id
+    elif isinstance(node, (ast.If, ast.Try)):
+        # Conditional definitions (version gates, optional imports).
+        bodies = [node.body, getattr(node, "orelse", [])]
+        for handler in getattr(node, "handlers", []):
+            bodies.append(handler.body)
+        for body in bodies:
+            for sub in body:
+                yield from bindings_of(sub)
+
+
+class ProjectModel:
+    """All parsed modules of one analysis run, addressable by dotted name.
+
+    Cross-module rules (re-export resolution, base-class conformance,
+    call-graph construction) use this to look at sibling files without
+    importing anything.
+    """
+
+    def __init__(self, modules: Iterable[ModuleInfo]):
+        self.modules: list[ModuleInfo] = list(modules)
+        self.by_name: dict[str, ModuleInfo] = {}
+        for info in self.modules:
+            self.by_name.setdefault(info.module, info)
+
+    def resolve_module(self, dotted: str) -> ModuleInfo | None:
+        """The scanned module with dotted name ``dotted``, if any."""
+        return self.by_name.get(dotted)
+
+    def has_submodule(self, package: str, name: str) -> bool:
+        """Whether ``package.name`` is a scanned module or package."""
+        dotted = f"{package}.{name}"
+        return dotted in self.by_name or any(
+            m.startswith(dotted + ".") for m in self.by_name
+        )
+
+    def class_def(self, module: str, name: str) -> tuple[ModuleInfo, ast.ClassDef] | None:
+        """Find class ``name`` in ``module``, following its imports once.
+
+        Returns the (module, ClassDef) pair where the class body actually
+        lives, chasing ``from x import name`` links through the project.
+        """
+        seen: set[tuple[str, str]] = set()
+        current = module
+        target = name
+        while (current, target) not in seen:
+            seen.add((current, target))
+            info = self.by_name.get(current)
+            if info is None:
+                return None
+            for node in info.tree.body:
+                if isinstance(node, ast.ClassDef) and node.name == target:
+                    return info, node
+            # Not defined here: is it imported from a sibling?
+            for node in info.tree.body:
+                if isinstance(node, ast.ImportFrom) and node.module:
+                    for alias in node.names:
+                        if (alias.asname or alias.name) == target:
+                            current, target = node.module, alias.name
+                            break
+                    else:
+                        continue
+                    break
+            else:
+                return None
+        return None
+
+
+def collect_python_files(paths: Iterable[str | Path]) -> list[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    files: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.update(
+                p
+                for p in path.rglob("*.py")
+                if not any(part.startswith(".") for part in p.parts)
+            )
+        elif path.suffix == ".py":
+            files.add(path)
+    return sorted(files)
+
+
+def module_name(path: Path) -> str:
+    """Dotted module name, walking up through ``__init__.py`` packages."""
+    parts = [path.stem] if path.stem != "__init__" else []
+    parent = path.resolve().parent
+    while (parent / "__init__.py").exists():
+        parts.insert(0, parent.name)
+        parent = parent.parent
+    return ".".join(parts) if parts else path.stem
+
+
+def display_path(path: Path) -> str:
+    """Path string for reports: relative to the cwd when possible."""
+    try:
+        return str(path.resolve().relative_to(Path.cwd()))
+    except ValueError:
+        return str(path)
+
+
+@dataclass(frozen=True)
+class SyntaxIssue:
+    """A file that failed to parse (reported instead of aborting)."""
+
+    path: str
+    line: int
+    col: int
+    message: str
+
+
+def build_model(
+    files: Iterable[Path], tool: str = "repro-lint"
+) -> tuple[ProjectModel, list[SyntaxIssue]]:
+    """Parse ``files`` into a :class:`ProjectModel`.
+
+    Syntax errors become :class:`SyntaxIssue` records rather than
+    aborting the run; ``tool`` selects which suppression comments
+    (``# <tool>: disable=...``) are honoured.
+    """
+    infos: list[ModuleInfo] = []
+    errors: list[SyntaxIssue] = []
+    for path in files:
+        source = path.read_text(encoding="utf-8")
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError as exc:
+            errors.append(
+                SyntaxIssue(
+                    path=display_path(path),
+                    line=exc.lineno or 1,
+                    col=exc.offset or 0,
+                    message=f"syntax error: {exc.msg}",
+                )
+            )
+            continue
+        infos.append(
+            ModuleInfo(
+                path=path,
+                display_path=display_path(path),
+                module=module_name(path),
+                tree=tree,
+                source=source,
+                suppressed=parse_suppressions(source, tool),
+                is_library=not (
+                    LIBRARY_EXCLUDED_PARTS & set(path.resolve().parts)
+                ),
+            )
+        )
+    return ProjectModel(infos), errors

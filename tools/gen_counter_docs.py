@@ -1,0 +1,91 @@
+"""Regenerate the README counter table from ``repro.obs.COUNTER_SCHEMA``.
+
+The registry in ``src/repro/obs/schema.py`` is the single source of
+truth for the observability counter vocabulary (see RA004 in
+``tools/repro_audit``). This script rewrites the markdown table between
+the ``<!-- counter-table:begin -->`` / ``<!-- counter-table:end -->``
+markers in README.md so docs can never drift from the code:
+
+    python tools/gen_counter_docs.py           # rewrite in place
+    python tools/gen_counter_docs.py --check   # CI: exit 1 on drift
+"""
+
+# CLI entry point: stdout IS the user interface here.
+# repro-lint: disable=RL007
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+__all__ = ["main", "render_table"]
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BEGIN = "<!-- counter-table:begin -->"
+END = "<!-- counter-table:end -->"
+_REGION = re.compile(
+    re.escape(BEGIN) + r".*?" + re.escape(END), flags=re.DOTALL
+)
+
+
+def render_table() -> str:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.obs import COUNTER_SCHEMA
+
+    lines = [
+        BEGIN,
+        "| Counter | Incremented by | Meaning |",
+        "| --- | --- | --- |",
+    ]
+    for spec in COUNTER_SCHEMA.values():
+        lines.append(
+            f"| `{spec.name}` | {spec.incremented_by} | {spec.meaning} |"
+        )
+    lines.append(END)
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="verify the README table matches the registry; do not write",
+    )
+    parser.add_argument(
+        "--readme",
+        type=Path,
+        default=REPO_ROOT / "README.md",
+        help="markdown file holding the marker-delimited table",
+    )
+    args = parser.parse_args(argv)
+
+    source = args.readme.read_text(encoding="utf-8")
+    if BEGIN not in source or END not in source:
+        print(
+            f"gen_counter_docs: {args.readme} has no {BEGIN} / {END} "
+            "markers",
+            file=sys.stderr,
+        )
+        return 2
+
+    updated = _REGION.sub(lambda _m: render_table(), source, count=1)
+    if updated == source:
+        print(f"gen_counter_docs: {args.readme} is up to date")
+        return 0
+    if args.check:
+        print(
+            f"gen_counter_docs: {args.readme} counter table is stale; "
+            "run `python tools/gen_counter_docs.py`",
+            file=sys.stderr,
+        )
+        return 1
+    args.readme.write_text(updated, encoding="utf-8")
+    print(f"gen_counter_docs: rewrote counter table in {args.readme}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,25 @@
+"""repro-audit: whole-program static contract auditing.
+
+See :mod:`tools.repro_audit.core` for the architecture overview and
+DESIGN.md §10 for rule semantics and known approximations. Public
+surface: :func:`audit_paths`, :class:`Finding`, the rule registry, and
+the renderers in :mod:`tools.repro_audit.reporting`.
+"""
+
+from tools.repro_audit.core import (
+    RULES,
+    AuditRule,
+    Finding,
+    audit_paths,
+    iter_rules,
+    register,
+)
+
+__all__ = [
+    "AuditRule",
+    "Finding",
+    "RULES",
+    "audit_paths",
+    "iter_rules",
+    "register",
+]

@@ -1,0 +1,139 @@
+"""Command-line entry point: ``python -m tools.repro_audit [paths]``.
+
+Exit codes (stable, scripted against by CI):
+
+* ``0`` — no findings (after baseline filtering), or ``--list-rules`` /
+  ``--write-baseline`` completed;
+* ``1`` — at least one new finding;
+* ``2`` — usage error (unknown rule code, missing path).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from tools.repro_audit.baseline import (
+    DEFAULT_BASELINE,
+    filter_baselined,
+    load_baseline,
+    write_baseline,
+)
+from tools.repro_audit.core import audit_paths, iter_rules
+from tools.repro_audit.reporting import (
+    render_json,
+    render_sarif,
+    render_text,
+    rule_listing,
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.repro_audit",
+        description=(
+            "Whole-program static audit of pass-count, parallel-"
+            "determinism, exception and counter-schema contracts."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to audit (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json", "sarif"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list registered rules and exit",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        type=Path,
+        default=None,
+        help=(
+            "baseline file of accepted findings (default: "
+            "tools/repro_audit/baseline.txt when it exists)"
+        ),
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write current findings as the new baseline and exit 0",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="FILE",
+        type=Path,
+        default=None,
+        help="write the report to FILE instead of stdout",
+    )
+    args = parser.parse_args(argv)
+
+    select = None
+    if args.select:
+        select = [code.strip() for code in args.select.split(",") if code.strip()]
+
+    try:
+        rules = iter_rules(select)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+
+    if args.list_rules:
+        print(rule_listing(rules))
+        return 0
+
+    for raw in args.paths:
+        if not Path(raw).exists():
+            print(f"error: path does not exist: {raw}", file=sys.stderr)
+            return 2
+
+    findings = audit_paths(args.paths, select=select)
+
+    baseline_path = args.baseline
+    if baseline_path is None and DEFAULT_BASELINE.exists():
+        baseline_path = DEFAULT_BASELINE
+    if args.write_baseline:
+        target = args.baseline or DEFAULT_BASELINE
+        write_baseline(findings, target)
+        print(
+            f"repro-audit: wrote {len(findings)} fingerprint(s) to {target}"
+        )
+        return 0
+    if baseline_path is not None and not args.no_baseline:
+        findings = filter_baselined(findings, load_baseline(baseline_path))
+
+    if args.format == "json":
+        report = render_json(findings)
+    elif args.format == "sarif":
+        report = render_sarif(findings, rules)
+    else:
+        report = render_text(findings)
+    if args.output is not None:
+        args.output.write_text(report + "\n", encoding="utf-8")
+    else:
+        print(report)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,50 @@
+"""Baseline (accepted-findings) file handling for repro-audit.
+
+A baseline holds fingerprints of findings that are known and accepted;
+CI fails only on findings *not* in the baseline, so the audit can be
+adopted on a tree with historical debt and still block regressions.
+Fingerprints are ``rule<TAB>path<TAB>anchor`` — line-number free, so
+unrelated edits don't invalidate them. The file is plain text, one
+fingerprint per line, ``#`` comments and blank lines ignored; regenerate
+with ``python -m tools.repro_audit --write-baseline``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Sequence
+
+from tools.repro_audit.core import Finding
+
+__all__ = ["DEFAULT_BASELINE", "filter_baselined", "load_baseline", "write_baseline"]
+
+#: Conventional location, used by the CLI when it exists.
+DEFAULT_BASELINE = Path(__file__).parent / "baseline.txt"
+
+
+def load_baseline(path: Path) -> frozenset[str]:
+    """Fingerprints accepted by the baseline file at ``path``."""
+    entries: set[str] = set()
+    for line in path.read_text(encoding="utf-8").splitlines():
+        stripped = line.strip()
+        if stripped and not stripped.startswith("#"):
+            entries.add(stripped)
+    return frozenset(entries)
+
+
+def filter_baselined(
+    findings: Sequence[Finding], baseline: frozenset[str]
+) -> list[Finding]:
+    """Findings whose fingerprint is not accepted by the baseline."""
+    return [f for f in findings if f.fingerprint() not in baseline]
+
+
+def write_baseline(findings: Sequence[Finding], path: Path) -> None:
+    """Write the fingerprints of ``findings`` as the new baseline."""
+    lines = [
+        "# repro-audit baseline: accepted findings, one fingerprint per",
+        "# line (rule<TAB>path<TAB>anchor). Regenerate with",
+        "#   python -m tools.repro_audit --write-baseline <paths>",
+    ]
+    lines.extend(sorted({f.fingerprint() for f in findings}))
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")

@@ -1,0 +1,170 @@
+"""RA004 — counter-schema audit.
+
+Run manifests are only comparable across machines and versions if the
+set of counter names is a closed vocabulary. ``src/repro/obs/schema.py``
+holds that vocabulary as the ``COUNTER_SCHEMA`` registry — the single
+source of truth the manifest docs and the README counter table derive
+from. This rule keeps code and registry in lock-step:
+
+* **forward** — every literal counter name incremented in the audited
+  tree (``recorder.count("name", ...)`` / ``get_recorder().count(...)``)
+  must be a key of ``COUNTER_SCHEMA``;
+* **reverse** — every registered counter must be incremented somewhere
+  in the audited tree (a dead registry entry either means dead docs or
+  a silently dropped measurement).
+
+Only literal-string first arguments are audited; dynamic re-emission
+(e.g. the worker-merge loop in ``repro.parallel``) is invisible here by
+design — workers re-count names that were counted literally at the
+original site. ``str.count`` / ``list.count`` lookalikes are excluded
+by requiring a non-literal receiver and a counter-shaped name.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from typing import Iterator
+
+from tools.astkit import ModuleInfo
+from tools.repro_audit.core import AuditRule, Finding, register
+from tools.repro_audit.graph import CallGraph
+
+__all__ = ["CounterSchemaAudit"]
+
+#: Counter names are snake_case identifiers.
+_COUNTER_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*$")
+
+#: Name of the registry binding a schema module must define.
+SCHEMA_BINDING = "COUNTER_SCHEMA"
+
+
+@dataclass(frozen=True)
+class _Increment:
+    info: ModuleInfo
+    node: ast.Call
+    name: str
+    qualname: str
+
+
+def _schema_entries(info: ModuleInfo) -> dict[str, ast.expr] | None:
+    """``COUNTER_SCHEMA`` keys of a module, if it defines the registry."""
+    for stmt in info.tree.body:
+        if isinstance(stmt, ast.Assign):
+            targets = stmt.targets
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets = [stmt.target]
+        else:
+            continue
+        if not any(
+            isinstance(t, ast.Name) and t.id == SCHEMA_BINDING
+            for t in targets
+        ):
+            continue
+        if not isinstance(stmt.value, ast.Dict):
+            return {}
+        entries: dict[str, ast.expr] = {}
+        for key in stmt.value.keys:
+            if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                entries[key.value] = key
+        return entries
+    return None
+
+
+def _iter_increments(info: ModuleInfo) -> Iterator[_Increment]:
+    stack: list[str] = [info.module]
+
+    def visit(node: ast.AST) -> Iterator[_Increment]:
+        scoped = isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef))
+        if scoped:
+            stack.append(node.name)
+        if isinstance(node, ast.Call):
+            found = _as_increment(node)
+            if found is not None:
+                yield _Increment(
+                    info=info,
+                    node=node,
+                    name=found,
+                    qualname=".".join(stack),
+                )
+        for child in ast.iter_child_nodes(node):
+            yield from visit(child)
+        if scoped:
+            stack.pop()
+
+    yield from visit(info.tree)
+
+
+def _as_increment(call: ast.Call) -> str | None:
+    func = call.func
+    if not (isinstance(func, ast.Attribute) and func.attr == "count"):
+        return None
+    # ``"abc".count("a")`` and ``[..].count(x)`` are not counter writes.
+    if isinstance(func.value, (ast.Constant, ast.List, ast.Tuple, ast.Dict, ast.Set)):
+        return None
+    if not call.args:
+        return None
+    first = call.args[0]
+    if not (isinstance(first, ast.Constant) and isinstance(first.value, str)):
+        return None
+    if not _COUNTER_NAME_RE.match(first.value):
+        return None
+    return first.value
+
+
+@register
+class CounterSchemaAudit(AuditRule):
+    code = "RA004"
+    summary = (
+        "every incremented counter name is registered in COUNTER_SCHEMA "
+        "and every registered counter is incremented somewhere"
+    )
+
+    def check(self, graph: CallGraph) -> Iterator[Finding]:
+        schema: dict[str, ast.expr] = {}
+        schema_info: ModuleInfo | None = None
+        increments: list[_Increment] = []
+        for info in graph.project.modules:
+            entries = _schema_entries(info)
+            if entries is not None and schema_info is None:
+                schema, schema_info = entries, info
+            increments.extend(_iter_increments(info))
+
+        if not increments:
+            return
+        if schema_info is None:
+            first = increments[0]
+            yield self.finding(
+                first.info,
+                first.node,
+                f"counter {first.name!r} is incremented but the audited "
+                f"tree defines no {SCHEMA_BINDING} registry "
+                "(src/repro/obs/schema.py)",
+                anchor="missing-schema",
+            )
+            return
+
+        incremented: set[str] = set()
+        for inc in increments:
+            incremented.add(inc.name)
+            if inc.name not in schema:
+                yield self.finding(
+                    inc.info,
+                    inc.node,
+                    f"counter {inc.name!r} is incremented but not "
+                    f"registered in {SCHEMA_BINDING}",
+                    anchor=inc.name,
+                    trace=(
+                        f"{inc.qualname} "
+                        f"({inc.info.display_path}:{inc.node.lineno})",
+                    ),
+                )
+        for name in sorted(set(schema) - incremented):
+            yield self.finding(
+                schema_info,
+                schema[name],
+                f"counter {name!r} is registered in {SCHEMA_BINDING} but "
+                "never incremented in the audited tree",
+                anchor=name,
+            )

@@ -1,0 +1,211 @@
+"""RA003 — exception-contract audit.
+
+``StreamReadError`` is the retry layer's *give-up* signal: raised by
+``RetryPolicy.call`` after exhausting its budget, it means the data is
+unreadable and the run must stop with a located error. The contract has
+three clauses, each checked statically over the whole call graph:
+
+* **hierarchy** — ``StreamReadError`` must never (transitively) subclass
+  ``OSError``/``IOError``: the moment it does, every generic
+  ``except OSError`` between the stream layer and the caller silently
+  converts "retries exhausted" into "transient error, carry on";
+* **no wrapping** — an ``except OSError`` (or ``IOError`` /
+  ``EnvironmentError`` / a scanned subclass of those) handler whose try
+  body can reach the retry layer (a ``*retry*.call(...)`` site or a
+  ``raise StreamReadError``) is flagged: even with the hierarchy intact,
+  such a handler shows the code path treats exhaustion territory as
+  retryable I/O;
+* **re-raise** — an ``except StreamReadError`` handler that contains no
+  ``raise`` swallows exhaustion and is flagged.
+
+Reachability for the wrapping clause follows resolved calls from the
+try body transitively (with the "why" trace in the diagnostic).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from tools.repro_audit.core import AuditRule, Finding, register
+from tools.repro_audit.graph import (
+    CallGraph,
+    CallTarget,
+    FuncNode,
+    attr_chain,
+)
+
+__all__ = ["ExceptionContractAudit"]
+
+#: The give-up exception the contract is about.
+GIVE_UP = "StreamReadError"
+
+#: The OSError family that generic I/O handlers catch.
+OS_FAMILY = frozenset({"OSError", "IOError", "EnvironmentError"})
+
+
+def _handler_type_names(handler: ast.ExceptHandler) -> list[str]:
+    """Trailing identifiers of the exception types a handler catches."""
+    node = handler.type
+    if node is None:
+        return []
+    exprs = node.elts if isinstance(node, ast.Tuple) else [node]
+    names: list[str] = []
+    for expr in exprs:
+        chain = attr_chain(expr)
+        if chain:
+            names.append(chain[-1])
+    return names
+
+
+def _raises_give_up(node: ast.AST) -> ast.Raise | None:
+    """First ``raise StreamReadError...`` statement under ``node``."""
+    for sub in ast.walk(node):
+        if not isinstance(sub, ast.Raise) or sub.exc is None:
+            continue
+        exc = sub.exc
+        target = exc.func if isinstance(exc, ast.Call) else exc
+        chain = attr_chain(target)
+        if chain and chain[-1] == GIVE_UP:
+            return sub
+    return None
+
+
+def _retry_call_site(node: ast.AST) -> ast.Call | None:
+    """First ``<something retry-ish>.call(...)`` site under ``node``."""
+    for sub in ast.walk(node):
+        if not isinstance(sub, ast.Call):
+            continue
+        chain = attr_chain(sub.func)
+        if (
+            chain
+            and chain[-1] == "call"
+            and any("retry" in part.lower() for part in chain[:-1])
+        ):
+            return sub
+    return None
+
+
+@register
+class ExceptionContractAudit(AuditRule):
+    code = "RA003"
+    summary = (
+        "StreamReadError stays outside the OSError hierarchy, is never "
+        "swallowed, and except-OSError handlers cannot wrap the retry layer"
+    )
+
+    def check(self, graph: CallGraph) -> Iterator[Finding]:
+        yield from self._check_hierarchy(graph)
+        catchers = self._os_subclasses(graph)
+        for func in graph.iter_functions():
+            for stmt in ast.walk(func.node):
+                if isinstance(stmt, ast.Try):
+                    yield from self._check_try(graph, func, stmt, catchers)
+
+    # ------------------------------------------------------------------
+
+    def _check_hierarchy(self, graph: CallGraph) -> Iterator[Finding]:
+        for cls in graph.classes_by_name.get(GIVE_UP, []):
+            for family in OS_FAMILY:
+                if graph.inherits_from(cls, family):
+                    yield self.finding(
+                        cls.module,
+                        cls.node,
+                        f"{GIVE_UP} subclasses {family}: generic "
+                        "except-OSError handlers would silently catch "
+                        "retry exhaustion",
+                        anchor=cls.qualname,
+                    )
+                    break
+
+    def _os_subclasses(self, graph: CallGraph) -> frozenset[str]:
+        """OS_FAMILY plus every scanned class inheriting from it."""
+        names = set(OS_FAMILY)
+        for cls in graph.classes:
+            if cls.name == GIVE_UP:
+                continue
+            if any(graph.inherits_from(cls, family) for family in OS_FAMILY):
+                names.add(cls.name)
+        return frozenset(names)
+
+    # ------------------------------------------------------------------
+
+    def _check_try(
+        self,
+        graph: CallGraph,
+        func: FuncNode,
+        stmt: ast.Try,
+        catchers: frozenset[str],
+    ) -> Iterator[Finding]:
+        for handler in stmt.handlers:
+            caught = _handler_type_names(handler)
+            if GIVE_UP in caught:
+                if not any(
+                    isinstance(sub, ast.Raise)
+                    for sub in ast.walk(
+                        ast.Module(body=handler.body, type_ignores=[])
+                    )
+                ):
+                    yield self.finding(
+                        func.module,
+                        handler,
+                        f"except {GIVE_UP} handler in {func.qualname} "
+                        "contains no raise: retry exhaustion is swallowed "
+                        "instead of propagating",
+                        anchor=f"{func.qualname}:swallow",
+                        trace=(func.frame(handler.lineno),),
+                    )
+                continue
+            if not any(name in catchers for name in caught):
+                continue
+            hit = self._find_give_up_path(graph, func, stmt)
+            if hit is not None:
+                message, trace = hit
+                caught_name = next(n for n in caught if n in catchers)
+                yield self.finding(
+                    func.module,
+                    handler,
+                    f"except {caught_name} handler in {func.qualname} wraps "
+                    f"a code path that {message}: the OSError family must "
+                    f"not shadow {GIVE_UP} territory",
+                    anchor=f"{func.qualname}:wrap",
+                    trace=trace,
+                )
+
+    def _find_give_up_path(
+        self, graph: CallGraph, func: FuncNode, stmt: ast.Try
+    ) -> tuple[str, tuple[str, ...]] | None:
+        """Does the try body (transitively) reach StreamReadError ground?"""
+        body = ast.Module(body=stmt.body, type_ignores=[])
+        raised = _raises_give_up(body)
+        if raised is not None:
+            return (
+                f"raises {GIVE_UP} (line {raised.lineno})",
+                (func.frame(raised.lineno),),
+            )
+        retry = _retry_call_site(body)
+        if retry is not None:
+            return (
+                f"enters the retry layer (line {retry.lineno})",
+                (func.frame(retry.lineno),),
+            )
+        roots: list[tuple[CallTarget, tuple[str, ...]]] = []
+        env = graph.local_types(func, func.cls)
+        for call in ast.walk(body):
+            if isinstance(call, ast.Call):
+                for callee in graph.resolve_call(call, func, func.cls, env):
+                    roots.append((callee, (func.frame(call.lineno),)))
+        for target, trace in graph.reachable(roots).values():
+            raised = _raises_give_up(target.func.node)
+            if raised is not None:
+                return (
+                    f"raises {GIVE_UP} in {target.func.qualname}",
+                    trace + (target.func.frame(raised.lineno),),
+                )
+            retry = _retry_call_site(target.func.node)
+            if retry is not None:
+                return (
+                    f"enters the retry layer in {target.func.qualname}",
+                    trace + (target.func.frame(retry.lineno),),
+                )
+        return None

@@ -1,0 +1,241 @@
+"""RA002 — parallel-determinism audit.
+
+``repro.parallel`` guarantees byte-identical results for any worker
+count, which holds only if dispatched workers are pure with respect to
+process-global state: no RNG draws (worker draw *order* is
+scheduling-dependent) and no ambient-context installation (recorder /
+fault-policy / n_jobs contextvars — the harness itself installs those
+deterministically around each task). This rule is the static twin of
+the runtime n_jobs byte-identity tests: it finds every function
+dispatched through ``parallel_map_chunks(...)`` or
+``get_backend(...).map(...)``, walks the call graph reachable from it,
+and flags
+
+* RNG use: ``np.random.*``, ``default_rng(...)``,
+  ``check_random_state(...)``, or any call on a receiver named like a
+  generator (``rng``, ``_rng``, ``random_state``);
+* ambient-context mutation: ``use_recorder`` / ``recording`` /
+  ``use_fault_policy`` / ``use_n_jobs`` calls, or ``.set(...)`` on a
+  module-level ``ContextVar``.
+
+Functions defined inside ``repro.parallel`` itself are exempt (the
+sanctioned harness installs worker-local context on purpose) but are
+still traversed, so a violation *reached through* the harness is found.
+Incrementing counters on the worker-local recorder is deliberately
+allowed — the harness merges counters deterministically.
+
+Dynamically-typed worker references (``estimator.evaluate``) are
+expanded over every concrete scanned class defining that method, so the
+audit covers all estimators a dispatch site could receive.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from tools.astkit import ModuleInfo
+from tools.repro_audit.core import AuditRule, Finding, register
+from tools.repro_audit.graph import (
+    CallGraph,
+    CallTarget,
+    FuncNode,
+    attr_chain,
+)
+
+__all__ = ["ParallelDeterminismAudit"]
+
+#: Call names that install ambient context (contextvar mutation).
+CONTEXT_INSTALLERS = frozenset(
+    {"use_recorder", "recording", "use_fault_policy", "use_n_jobs"}
+)
+
+#: Receiver names that identify a random generator object.
+RNG_RECEIVERS = frozenset(
+    {"rng", "_rng", "random_state", "_random_state", "generator"}
+)
+
+#: Functions creating or seeding generators.
+RNG_FACTORIES = frozenset({"default_rng", "check_random_state", "RandomState"})
+
+#: Module prefix of the sanctioned dispatch harness.
+HARNESS_PREFIX = "repro.parallel"
+
+#: Cap on contract expansion of a dynamically-typed worker reference.
+_MAX_EXPANSION = 24
+
+
+def _is_dispatch(call: ast.Call) -> bool:
+    chain = attr_chain(call.func)
+    if chain and chain[-1] == "parallel_map_chunks":
+        return True
+    if (
+        isinstance(call.func, ast.Attribute)
+        and call.func.attr == "map"
+        and isinstance(call.func.value, ast.Call)
+    ):
+        inner = attr_chain(call.func.value.func)
+        return bool(inner) and inner[-1] == "get_backend"
+    return False
+
+
+def _rng_call(chain: list[str]) -> str | None:
+    """Why this name chain is an RNG call, or None."""
+    if chain[-1] in RNG_FACTORIES:
+        return f"creates/seeds a generator via {chain[-1]}()"
+    if "random" in chain[:-1]:
+        return f"draws from the global numpy RNG ({'.'.join(chain)})"
+    if len(chain) >= 2 and any(part in RNG_RECEIVERS for part in chain[:-1]):
+        return f"draws from a generator ({'.'.join(chain)})"
+    return None
+
+
+@register
+class ParallelDeterminismAudit(AuditRule):
+    code = "RA002"
+    summary = (
+        "no RNG use or ambient-context mutation reachable from functions "
+        "dispatched through repro.parallel workers"
+    )
+
+    def check(self, graph: CallGraph) -> Iterator[Finding]:
+        roots = self._worker_roots(graph)
+        if not roots:
+            return
+        # Calling an installer IS the violation (flagged at the call
+        # site); its body legitimately mutates the contextvar, so don't
+        # descend into it.
+        reached = graph.reachable(
+            roots, prune=lambda t: t.func.name in CONTEXT_INSTALLERS
+        )
+        seen: set[tuple[str, int]] = set()
+        for target, trace in reached.values():
+            if target.func.module.module.startswith(HARNESS_PREFIX):
+                continue
+            for finding in self._check_function(target.func, trace):
+                key = (finding.path, finding.line)
+                if key not in seen:
+                    seen.add(key)
+                    yield finding
+
+    # ------------------------------------------------------------------
+
+    def _worker_roots(
+        self, graph: CallGraph
+    ) -> list[tuple[CallTarget, tuple[str, ...]]]:
+        roots: list[tuple[CallTarget, tuple[str, ...]]] = []
+        for func in graph.iter_functions():
+            env = graph.local_types(func, func.cls)
+            for call in ast.walk(func.node):
+                if not isinstance(call, ast.Call) or not _is_dispatch(call):
+                    continue
+                if not call.args:
+                    continue
+                worker_expr = call.args[0]
+                dispatch_frame = (
+                    f"dispatched by {func.frame(call.lineno)}"
+                )
+                targets = graph.unwrap_callable(
+                    worker_expr, func, func.cls, env
+                )
+                if not targets:
+                    targets = self._expand_dynamic(graph, worker_expr)
+                for target in targets:
+                    roots.append((target, (dispatch_frame,)))
+        return roots
+
+    def _expand_dynamic(
+        self, graph: CallGraph, expr: ast.expr
+    ) -> list[CallTarget]:
+        """Expand ``obj.method`` over every concrete class defining it."""
+        if isinstance(expr, ast.Call):
+            chain = attr_chain(expr.func)
+            if chain and chain[-1] == "partial" and expr.args:
+                return self._expand_dynamic(graph, expr.args[0])
+            return []
+        if not isinstance(expr, ast.Attribute):
+            return []
+        method = expr.attr
+        targets: list[CallTarget] = []
+        for cls in graph.classes:
+            if graph.is_abstract(cls):
+                continue
+            found = graph.lookup_method(cls, method)
+            if found is not None:
+                targets.append(CallTarget(found, cls))
+            if len(targets) >= _MAX_EXPANSION:
+                break
+        return targets
+
+    # ------------------------------------------------------------------
+
+    def _check_function(
+        self, func: FuncNode, trace: tuple[str, ...]
+    ) -> Iterator[Finding]:
+        info = func.module
+        module_scope_exprs = self._contextvar_names(info)
+        for call in ast.walk(func.node):
+            if not isinstance(call, ast.Call):
+                continue
+            chain = attr_chain(call.func)
+            if not chain:
+                continue
+            why = _rng_call(chain)
+            if why is not None:
+                yield self._site_finding(
+                    info, func, call, trace, f"worker-reachable RNG use: {why}"
+                )
+                continue
+            if chain[-1] in CONTEXT_INSTALLERS:
+                yield self._site_finding(
+                    info,
+                    func,
+                    call,
+                    trace,
+                    "worker-reachable ambient-context mutation: "
+                    f"{chain[-1]}() installs process-wide state",
+                )
+                continue
+            if (
+                chain[-1] == "set"
+                and len(chain) == 2
+                and chain[0] in module_scope_exprs
+            ):
+                yield self._site_finding(
+                    info,
+                    func,
+                    call,
+                    trace,
+                    f"worker-reachable ContextVar mutation: {chain[0]}.set()",
+                )
+
+    @staticmethod
+    def _contextvar_names(info: ModuleInfo) -> set[str]:
+        names: set[str] = set()
+        for stmt in info.tree.body:
+            if isinstance(stmt, ast.Assign) and isinstance(
+                stmt.value, ast.Call
+            ):
+                chain = attr_chain(stmt.value.func)
+                if chain and chain[-1] == "ContextVar":
+                    for target in stmt.targets:
+                        if isinstance(target, ast.Name):
+                            names.add(target.id)
+        return names
+
+    def _site_finding(
+        self,
+        info: ModuleInfo,
+        func: FuncNode,
+        call: ast.Call,
+        trace: tuple[str, ...],
+        message: str,
+    ) -> Finding:
+        chain = attr_chain(call.func) or ["<call>"]
+        return self.finding(
+            info,
+            call,
+            f"{message} (in {func.qualname})",
+            anchor=f"{func.qualname}:{'.'.join(chain)}",
+            trace=trace + (func.frame(call.lineno),),
+        )

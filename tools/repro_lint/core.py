@@ -1,4 +1,4 @@
-"""Core machinery for repro-lint: file model, rule registry, runner.
+"""Core machinery for repro-lint: rule registry and runner.
 
 repro-lint is a repo-specific static-analysis pass. Reproducing the
 paper's figures hinges on invariants that ordinary linters do not check
@@ -9,6 +9,11 @@ here; the runner parses every file once, builds a light project model so
 cross-module rules (re-export resolution, base-class conformance) can
 see sibling modules, and reports violations sorted by location.
 
+The file model, project model and path walking live in
+:mod:`tools.astkit`, shared with the whole-program auditor
+(``tools/repro_audit``); this module re-exports them so rule modules
+and tests keep a single import site.
+
 Suppression is per file: a comment anywhere in the file of the form
 ``# repro-lint: disable=RL001,RL004`` disables those rules for that
 file only.
@@ -17,10 +22,18 @@ file only.
 from __future__ import annotations
 
 import ast
-import re
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, Iterable, Iterator
+from typing import Iterable, Iterator
+
+from tools.astkit import (
+    LIBRARY_EXCLUDED_PARTS,
+    ModuleInfo,
+    ProjectModel,
+    build_model as _build_model,
+    collect_python_files,
+)
+from tools.astkit import parse_suppressions as _parse_suppressions
 
 __all__ = [
     "LIBRARY_EXCLUDED_PARTS",
@@ -29,6 +42,7 @@ __all__ = [
     "Rule",
     "RULES",
     "Violation",
+    "build_model",
     "collect_python_files",
     "iter_rules",
     "lint_paths",
@@ -36,13 +50,10 @@ __all__ = [
     "register",
 ]
 
-#: Directory names whose files are not "library code" (rules that only
-#: apply to the shipped library, like RL001, skip them).
-LIBRARY_EXCLUDED_PARTS = frozenset({"tests", "benchmarks", "examples"})
 
-_SUPPRESS_RE = re.compile(
-    r"#\s*repro-lint\s*:\s*disable\s*=\s*(?P<codes>RL\d{3}(?:\s*,\s*RL\d{3})*)"
-)
+def parse_suppressions(source: str) -> frozenset[str]:
+    """Rule codes disabled for a file via ``# repro-lint: disable=...``."""
+    return _parse_suppressions(source, tool="repro-lint")
 
 
 @dataclass(frozen=True, order=True)
@@ -82,148 +93,6 @@ class Violation:
             "rule": self.rule,
             "message": self.message,
         }
-
-
-def parse_suppressions(source: str) -> frozenset[str]:
-    """Rule codes disabled for a file via ``# repro-lint: disable=...``."""
-    codes: set[str] = set()
-    for match in _SUPPRESS_RE.finditer(source):
-        codes.update(c.strip() for c in match.group("codes").split(","))
-    return frozenset(codes)
-
-
-@dataclass
-class ModuleInfo:
-    """A parsed source file plus the metadata rules need.
-
-    Attributes
-    ----------
-    path:
-        Filesystem path of the file.
-    display_path:
-        Path string used in reports (relative when possible).
-    module:
-        Dotted module name (``repro.density.kde``) when the file sits in
-        a package; the bare stem otherwise.
-    tree:
-        Parsed :class:`ast.Module`.
-    source:
-        Raw file contents.
-    suppressed:
-        Rule codes disabled for this file.
-    is_library:
-        False for files under ``tests/``, ``benchmarks/`` or
-        ``examples/`` directories.
-    """
-
-    path: Path
-    display_path: str
-    module: str
-    tree: ast.Module
-    source: str
-    suppressed: frozenset[str] = frozenset()
-    is_library: bool = True
-
-    @property
-    def is_init(self) -> bool:
-        return self.path.name == "__init__.py"
-
-    @property
-    def is_main(self) -> bool:
-        return self.path.name == "__main__.py"
-
-    def top_level_bindings(self) -> set[str]:
-        """Names bound at module top level (defs, classes, imports, assigns)."""
-        bound: set[str] = set()
-        for node in self.tree.body:
-            bound.update(_bindings_of(node))
-        return bound
-
-
-def _bindings_of(node: ast.stmt) -> Iterator[str]:
-    """Names a single top-level statement binds in the module namespace."""
-    if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
-        yield node.name
-    elif isinstance(node, ast.Import):
-        for alias in node.names:
-            yield alias.asname or alias.name.split(".")[0]
-    elif isinstance(node, ast.ImportFrom):
-        for alias in node.names:
-            if alias.name == "*":
-                continue
-            yield alias.asname or alias.name
-    elif isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
-        targets = node.targets if isinstance(node, ast.Assign) else [node.target]
-        for target in targets:
-            for leaf in ast.walk(target):
-                if isinstance(leaf, ast.Name):
-                    yield leaf.id
-    elif isinstance(node, (ast.If, ast.Try)):
-        # Conditional definitions (version gates, optional imports).
-        bodies = [node.body, getattr(node, "orelse", [])]
-        for handler in getattr(node, "handlers", []):
-            bodies.append(handler.body)
-        for body in bodies:
-            for sub in body:
-                yield from _bindings_of(sub)
-
-
-class ProjectModel:
-    """All parsed modules of one lint run, addressable by dotted name.
-
-    Cross-module rules (RL004 re-export resolution, RL005 base-class
-    conformance) use this to look at sibling files without importing
-    anything — the whole pass is import-free so it can run on broken or
-    dependency-missing trees.
-    """
-
-    def __init__(self, modules: Iterable[ModuleInfo]):
-        self.modules: list[ModuleInfo] = list(modules)
-        self.by_name: dict[str, ModuleInfo] = {}
-        for info in self.modules:
-            self.by_name.setdefault(info.module, info)
-
-    def resolve_module(self, dotted: str) -> ModuleInfo | None:
-        """The scanned module with dotted name ``dotted``, if any."""
-        return self.by_name.get(dotted)
-
-    def has_submodule(self, package: str, name: str) -> bool:
-        """Whether ``package.name`` is a scanned module or package."""
-        dotted = f"{package}.{name}"
-        return dotted in self.by_name or any(
-            m.startswith(dotted + ".") for m in self.by_name
-        )
-
-    def class_def(self, module: str, name: str) -> tuple[ModuleInfo, ast.ClassDef] | None:
-        """Find class ``name`` in ``module``, following its imports once.
-
-        Returns the (module, ClassDef) pair where the class body actually
-        lives, chasing ``from x import name`` links through the project.
-        """
-        seen: set[tuple[str, str]] = set()
-        current = module
-        target = name
-        while (current, target) not in seen:
-            seen.add((current, target))
-            info = self.by_name.get(current)
-            if info is None:
-                return None
-            for node in info.tree.body:
-                if isinstance(node, ast.ClassDef) and node.name == target:
-                    return info, node
-            # Not defined here: is it imported from a sibling?
-            for node in info.tree.body:
-                if isinstance(node, ast.ImportFrom) and node.module:
-                    for alias in node.names:
-                        if (alias.asname or alias.name) == target:
-                            current, target = node.module, alias.name
-                            break
-                    else:
-                        continue
-                    break
-            else:
-                return None
-        return None
 
 
 class Rule:
@@ -289,73 +158,21 @@ def _load_rules() -> None:
     )
 
 
-def collect_python_files(paths: Iterable[str | Path]) -> list[Path]:
-    """Expand files/directories into a sorted list of ``.py`` files."""
-    files: set[Path] = set()
-    for raw in paths:
-        path = Path(raw)
-        if path.is_dir():
-            files.update(
-                p
-                for p in path.rglob("*.py")
-                if not any(part.startswith(".") for part in p.parts)
-            )
-        elif path.suffix == ".py":
-            files.add(path)
-    return sorted(files)
-
-
-def _module_name(path: Path) -> str:
-    """Dotted module name, walking up through ``__init__.py`` packages."""
-    parts = [path.stem] if path.stem != "__init__" else []
-    parent = path.resolve().parent
-    while (parent / "__init__.py").exists():
-        parts.insert(0, parent.name)
-        parent = parent.parent
-    return ".".join(parts) if parts else path.stem
-
-
-def _display_path(path: Path) -> str:
-    try:
-        return str(path.resolve().relative_to(Path.cwd()))
-    except ValueError:
-        return str(path)
-
-
 def build_model(files: Iterable[Path]) -> tuple[ProjectModel, list[Violation]]:
     """Parse ``files`` into a :class:`ProjectModel`; syntax errors become
     violations (code ``RL000``) rather than aborting the run."""
-    infos: list[ModuleInfo] = []
-    errors: list[Violation] = []
-    for path in files:
-        source = path.read_text(encoding="utf-8")
-        try:
-            tree = ast.parse(source, filename=str(path))
-        except SyntaxError as exc:
-            errors.append(
-                Violation(
-                    path=_display_path(path),
-                    line=exc.lineno or 1,
-                    col=exc.offset or 0,
-                    rule="RL000",
-                    message=f"syntax error: {exc.msg}",
-                )
-            )
-            continue
-        infos.append(
-            ModuleInfo(
-                path=path,
-                display_path=_display_path(path),
-                module=_module_name(path),
-                tree=tree,
-                source=source,
-                suppressed=parse_suppressions(source),
-                is_library=not (
-                    LIBRARY_EXCLUDED_PARTS & set(path.resolve().parts)
-                ),
-            )
+    project, issues = _build_model(files, tool="repro-lint")
+    errors = [
+        Violation(
+            path=issue.path,
+            line=issue.line,
+            col=issue.col,
+            rule="RL000",
+            message=issue.message,
         )
-    return ProjectModel(infos), errors
+        for issue in issues
+    ]
+    return project, errors
 
 
 def lint_paths(
