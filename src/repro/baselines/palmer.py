@@ -40,6 +40,10 @@ class GridBiasedSampler:
     fills the hashed bucket counters, and one performs the biased
     draws.
 
+    Memory: O(m + chunk) — the ``n_buckets`` hashed counters plus one
+    in-flight chunk; the accepted rows are an expected-``b`` subset of
+    the chunk buffers.
+
     Parameters
     ----------
     sample_size:
@@ -58,6 +62,9 @@ class GridBiasedSampler:
 
     #: Dataset scans one sample() costs (audited statically by RA001).
     __n_passes__ = 3
+
+    #: Peak working-memory bound of sample() (audited by RA005).
+    __space__ = "O(m + chunk)"
 
     def __init__(
         self,

@@ -108,6 +108,10 @@ class DensityBiasedSampler:
     arrives unfitted), one ``eval_density`` scan to compute the exact
     normaliser, and one ``draw`` scan for the Bernoulli draws.
 
+    Memory: O(n) — the exact-normaliser design keeps every point's
+    density for the draw scan; see :class:`OnePassBiasedSampler` for
+    the O(b + chunk) streaming variant.
+
     Parameters
     ----------
     sample_size:
@@ -159,6 +163,13 @@ class DensityBiasedSampler:
 
     #: Per-phase dataset scans of sample() (audited statically by RA001).
     __n_passes__ = {"fit_density": 1, "eval_density": 1, "draw": 1}
+
+    #: Per-phase peak-allocation bounds of sample() (audited by RA005).
+    __space__ = {
+        "fit_density": "O(m)",
+        "eval_density": "O(n)",
+        "draw": "O(n)",
+    }
 
     def __init__(
         self,

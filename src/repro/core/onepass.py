@@ -29,6 +29,11 @@ from repro.utils.validation import RandomStateLike, check_random_state
 
 __all__ = ["OnePassBiasedSampler"]
 
+#: Chunks buffered per parallel fan-out in the draw scan. Bounds the
+#: draw phase's working set at O(chunk) while still amortising dispatch
+#: overhead across several chunks per round trip.
+_DRAW_WINDOW_CHUNKS = 8
+
 
 class OnePassBiasedSampler(DensityBiasedSampler):
     """Single sampling pass with an estimated normaliser.
@@ -37,6 +42,11 @@ class OnePassBiasedSampler(DensityBiasedSampler):
     ``draw`` each scan at most once (the normaliser scan is skipped
     entirely when a kernel estimator's centers can be reused as the
     pilot, which is the paper's one-pass configuration).
+
+    Memory: O(b + chunk) — the draw scan buffers at most
+    ``_DRAW_WINDOW_CHUNKS`` chunks per parallel fan-out and keeps only
+    the accepted rows (expected ``b`` of them); the stream itself is
+    never materialised.
 
     Parameters are those of :class:`DensityBiasedSampler` plus:
 
@@ -49,6 +59,13 @@ class OnePassBiasedSampler(DensityBiasedSampler):
 
     #: Per-phase scan ceilings of sample() (audited statically by RA001).
     __n_passes__ = {"fit_density": 1, "estimate_normalizer": 1, "draw": 1}
+
+    #: Per-phase peak-allocation bounds of sample() (audited by RA005).
+    __space__ = {
+        "fit_density": "O(m)",
+        "estimate_normalizer": "O(b + m)",
+        "draw": "O(b + chunk)",
+    }
 
     def __init__(
         self,
@@ -92,36 +109,35 @@ class OnePassBiasedSampler(DensityBiasedSampler):
         sampled_dens: list[np.ndarray] = []
         expected = 0.0
         scale = self.sample_size / k_hat
+        out = (sampled_points, sampled_idx, sampled_probs, sampled_dens)
         with recorder.phase("draw"):
-            # Fan the deterministic density evaluations out to workers;
-            # the Bernoulli draws below stay on the single main-process
+            # Fan the deterministic density evaluations out to workers a
+            # bounded window of chunks at a time, so the scan never
+            # materialises the stream (RA005: draw stays O(b + chunk)).
+            # The Bernoulli draws stay on the single main-process
             # generator, consumed in stream order, so the sample is
-            # byte-identical for any n_jobs.
-            offsets_chunks = list(source.iter_with_offsets())
-            covered = sum(chunk.shape[0] for _, chunk in offsets_chunks)
+            # byte-identical for any n_jobs and any window size.
+            window: list[tuple[int, np.ndarray]] = []
+            covered = 0
+            for start, chunk in source.iter_with_offsets():
+                covered += chunk.shape[0]
+                window.append((start, chunk))
+                if len(window) >= _DRAW_WINDOW_CHUNKS:
+                    expected += self._draw_window(
+                        window, estimator, rng, floor, scale, out
+                    )
+                    window.clear()
+            if window:
+                expected += self._draw_window(
+                    window, estimator, rng, floor, scale, out
+                )
+                window.clear()
             if covered != len(source):
                 raise DataValidationError(
                     f"stream yielded {covered} rows in the draw scan but "
                     f"advertises n_points={len(source)}; sample indices "
                     "would not address the surviving rows."
                 )
-            all_densities = parallel_map_chunks(
-                estimator.evaluate,
-                [chunk for _, chunk in offsets_chunks],
-                n_jobs=self.n_jobs,
-            )
-            for (start, chunk), densities in zip(
-                offsets_chunks, all_densities
-            ):
-                weights = self._floored_power(densities, floor)
-                probs = np.minimum(1.0, scale * weights)
-                expected += float(probs.sum())
-                keep = rng.random(chunk.shape[0]) < probs
-                if keep.any():
-                    sampled_points.append(chunk[keep])
-                    sampled_idx.append(start + np.nonzero(keep)[0])
-                    sampled_probs.append(probs[keep])
-                    sampled_dens.append(densities[keep])
 
         if sampled_points:
             points = np.vstack(sampled_points)
@@ -143,6 +159,40 @@ class OnePassBiasedSampler(DensityBiasedSampler):
             n_source=len(source),
             densities=densities,
         )
+
+    def _draw_window(
+        self,
+        window: list[tuple[int, np.ndarray]],
+        estimator: DensityEstimator,
+        rng: np.random.Generator,
+        floor: float,
+        scale: float,
+        out: tuple[
+            list[np.ndarray],
+            list[np.ndarray],
+            list[np.ndarray],
+            list[np.ndarray],
+        ],
+    ) -> float:
+        """Accept/reject one buffered window; returns its expected mass."""
+        sampled_points, sampled_idx, sampled_probs, sampled_dens = out
+        window_densities = parallel_map_chunks(
+            estimator.evaluate,
+            [chunk for _, chunk in window],
+            n_jobs=self.n_jobs,
+        )
+        expected = 0.0
+        for (start, chunk), densities in zip(window, window_densities):
+            weights = self._floored_power(densities, floor)
+            probs = np.minimum(1.0, scale * weights)
+            expected += float(probs.sum())
+            keep = rng.random(chunk.shape[0]) < probs
+            if keep.any():
+                sampled_points.append(chunk[keep])
+                sampled_idx.append(start + np.nonzero(keep)[0])
+                sampled_probs.append(probs[keep])
+                sampled_dens.append(densities[keep])
+        return expected
 
     # -- normaliser estimation ---------------------------------------------------
 

@@ -26,6 +26,9 @@ class UniformSampler:
     Dataset passes: 1 — both the Bernoulli and the reservoir mode draw
     in a single scan.
 
+    Memory: O(n) — exact-size mode draws the kept index set against
+    ``len(source)`` up front; the reservoir path alone is O(b).
+
     Parameters
     ----------
     sample_size:
@@ -39,6 +42,9 @@ class UniformSampler:
 
     #: Per-phase dataset scans of sample() (audited statically by RA001).
     __n_passes__ = {"draw": 1}
+
+    #: Peak working-memory bound of sample() (audited by RA005).
+    __space__ = "O(n)"
 
     def __init__(
         self,

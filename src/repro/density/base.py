@@ -31,11 +31,20 @@ class DensityEstimator(abc.ABC):
     receive an estimator dynamically (and by the ``repro-audit`` RA001
     static check at such call sites). Subclasses whose fit needs more
     scans (e.g. bounds pass + counting pass) must override it with
-    their true count.
+    their true count. ``__space__`` is the matching peak-allocation
+    contract (RA005): fitting or evaluating an estimator costs at most
+    O(m) working memory in the summary size ``m`` — never O(n) in the
+    dataset — and dynamically-typed ``.fit()``/``.evaluate()`` call
+    sites are charged this bound.
+
+    Memory: O(m) — the fitted summary (centers/coefficients/cells).
     """
 
     #: Dataset scans one fit() costs (audited statically by RA001).
     __n_passes__ = 1
+
+    #: Peak working-memory bound of fit()/evaluate() (audited by RA005).
+    __space__ = "O(m)"
 
     n_points_: int | None = None
     n_dims_: int | None = None

@@ -27,6 +27,9 @@ class DctDensityEstimator(DensityEstimator):
     Dataset passes: 2 — a bounding-box scan followed by the histogram
     counting scan the DCT is taken over.
 
+    Memory: O(m) — the dense ``bins_per_dim ** d`` histogram the DCT
+    is taken over, then the retained coefficient table.
+
     Parameters
     ----------
     bins_per_dim:
@@ -36,6 +39,9 @@ class DctDensityEstimator(DensityEstimator):
     """
 
     __n_passes__ = 2
+
+    #: Peak working-memory bound of fit()/evaluate() (audited by RA005).
+    __space__ = "O(m)"
 
     def __init__(self, bins_per_dim: int = 32, n_coefficients: int = 1000):
         if bins_per_dim < 2:

@@ -27,6 +27,9 @@ class GridDensityEstimator(DensityEstimator):
     cell occupancies (the box scan still runs when ``bounds`` is given;
     see Notes for the single-pass escape hatch).
 
+    Memory: O(m) — only occupied cells are stored in the sparse count
+    map; chunks are binned and discarded as the scan advances.
+
     Parameters
     ----------
     bins_per_dim:
@@ -44,6 +47,9 @@ class GridDensityEstimator(DensityEstimator):
     """
 
     __n_passes__ = 2
+
+    #: Peak working-memory bound of fit()/evaluate() (audited by RA005).
+    __space__ = "O(m)"
 
     def __init__(self, bins_per_dim: int = 32, bounds=None) -> None:
         if bins_per_dim < 1:

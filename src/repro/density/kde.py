@@ -66,6 +66,9 @@ class KernelDensityEstimator(DensityEstimator):
     Dataset passes: 1 — centers (reservoir) and bandwidth moments are
     both collected in the single fit scan.
 
+    Memory: O(m) — the reservoir of ``n_kernels`` centers plus
+    per-attribute moment vectors; evaluation works block by block.
+
     Parameters
     ----------
     n_kernels:
@@ -95,6 +98,9 @@ class KernelDensityEstimator(DensityEstimator):
     """
 
     __n_passes__ = 1
+
+    #: Peak working-memory bound of fit()/evaluate() (audited by RA005).
+    __space__ = "O(m)"
 
     def __init__(
         self,
@@ -196,13 +202,18 @@ class KernelDensityEstimator(DensityEstimator):
             points[start : start + chunk_rows]
             for start in range(0, points.shape[0], chunk_rows)
         ]
-        # Each block is deterministic, so the ordered merge is
-        # byte-identical to the serial loop for any n_jobs.
-        return np.concatenate(
-            parallel_map_chunks(
-                self._evaluate_block, blocks, n_jobs=self.n_jobs
-            )
-        )
+        # Each block is deterministic, so the ordered slice-fill is
+        # byte-identical to the serial loop for any n_jobs. The output
+        # length is known up front — fill a preallocated array instead
+        # of concatenating the block results (RA006).
+        out = np.empty(points.shape[0], dtype=np.float64)
+        offset = 0
+        for values in parallel_map_chunks(
+            self._evaluate_block, blocks, n_jobs=self.n_jobs
+        ):
+            out[offset : offset + values.shape[0]] = values
+            offset += values.shape[0]
+        return out
 
     def _evaluate_block(self, block: np.ndarray) -> np.ndarray:
         m = self.centers_.shape[0]

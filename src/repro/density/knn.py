@@ -29,6 +29,9 @@ class KnnDensityEstimator(DensityEstimator):
     Dataset passes: 1 — the reservoir that keeps the reference points
     fills in a single fit scan.
 
+    Memory: O(m) — the ``n_sample``-point reservoir is the whole
+    fitted state.
+
     Parameters
     ----------
     n_sample:
@@ -41,6 +44,9 @@ class KnnDensityEstimator(DensityEstimator):
     """
 
     __n_passes__ = 1
+
+    #: Peak working-memory bound of fit()/evaluate() (audited by RA005).
+    __space__ = "O(m)"
 
     def __init__(self, n_sample: int = 1000, k: int = 10, random_state=None):
         if n_sample < 1:

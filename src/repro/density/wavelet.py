@@ -79,6 +79,9 @@ class WaveletDensityEstimator(DensityEstimator):
     Dataset passes: 2 — a bounding-box scan followed by the histogram
     counting scan the Haar transform is taken over.
 
+    Memory: O(m) — the dense ``bins_per_dim ** d`` histogram the Haar
+    transform runs over, then the thresholded coefficient table.
+
     Parameters
     ----------
     bins_per_dim:
@@ -95,6 +98,9 @@ class WaveletDensityEstimator(DensityEstimator):
     """
 
     __n_passes__ = 2
+
+    #: Peak working-memory bound of fit()/evaluate() (audited by RA005).
+    __space__ = "O(m)"
 
     def __init__(self, bins_per_dim: int = 32, n_coefficients: int = 1000):
         if bins_per_dim < 2 or bins_per_dim & (bins_per_dim - 1):

@@ -45,6 +45,10 @@ class ApproximateOutlierDetector(OutlierDetector):
     approximate neighbourhood mass, and the ``verify`` scan that counts
     exact neighbours of the surviving candidates.
 
+    Memory: O(n) — the screen heap may hold every point when the
+    candidate fraction is 1; fitting is O(m) and verification keeps
+    only the O(b) surviving candidates.
+
     Parameters
     ----------
     k:
@@ -86,6 +90,13 @@ class ApproximateOutlierDetector(OutlierDetector):
 
     #: Per-phase dataset scans of detect() (audited statically by RA001).
     __n_passes__ = {"fit_density": 1, "screen": 1, "verify": 1}
+
+    #: Per-phase peak-allocation bounds of detect() (audited by RA005).
+    __space__ = {
+        "fit_density": "O(m)",
+        "screen": "O(n)",
+        "verify": "O(b)",
+    }
 
     def __init__(
         self,

@@ -40,6 +40,9 @@ class CellBasedOutlierDetector(OutlierDetector):
     Dataset passes: 1 — one materialising scan; cell colouring and the
     per-cell refinements then run over the in-memory copy.
 
+    Memory: O(n) — the algorithm is defined over a materialised
+    dataset copy (it is the exact baseline, not a streaming method).
+
     Parameters
     ----------
     k:
@@ -67,6 +70,9 @@ class CellBasedOutlierDetector(OutlierDetector):
 
     #: Dataset scans one detect() costs (audited statically by RA001).
     __n_passes__ = 1
+
+    #: Peak working-memory bound of detect() (audited by RA005).
+    __space__ = "O(n)"
 
     def __init__(
         self,

@@ -74,6 +74,9 @@ class NestedLoopOutlierDetector(OutlierDetector):
     Dataset passes: 1 — the dataset is materialised once; the nested
     block loops then run over the in-memory copy.
 
+    Memory: O(n) — the nested-loop join needs the materialised dataset
+    (it is the exact baseline, not a streaming method).
+
     Parameters
     ----------
     k:
@@ -95,6 +98,9 @@ class NestedLoopOutlierDetector(OutlierDetector):
 
     #: Dataset scans one detect() costs (audited statically by RA001).
     __n_passes__ = 1
+
+    #: Peak working-memory bound of detect() (audited by RA005).
+    __space__ = "O(n)"
 
     def __init__(
         self,
@@ -139,12 +145,17 @@ class IndexedOutlierDetector(OutlierDetector):
     Dataset passes: 1 — one materialising scan builds the tree; the
     fixed-radius queries then run in memory.
 
+    Memory: O(n) — the spatial index holds every point.
+
     Same output as the nested-loop detector; the tree turns each
     neighbourhood count into a fixed-radius query.
     """
 
     #: Dataset scans one detect() costs (audited statically by RA001).
     __n_passes__ = 1
+
+    #: Peak working-memory bound of detect() (audited by RA005).
+    __space__ = "O(n)"
 
     def __init__(
         self, k: float, p: int | None = None, fraction: float | None = None

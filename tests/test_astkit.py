@@ -1,0 +1,247 @@
+"""Edge-case tests for the shared AST substrate (``tools/astkit``).
+
+The call graph and both analysers resolve module-level names through
+``ModuleInfo.top_level_bindings`` / ``bindings_of``, so scoping mistakes
+here silently break cross-module resolution everywhere downstream. The
+cases below pin the subtle corners: walrus targets (including PEP 572's
+comprehension-scope escape), augmented assignment to attributes vs
+names, ``try/finally`` re-binding, and nested unpacking targets.
+"""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+
+import pytest
+
+from tools.astkit import (
+    ModuleInfo,
+    bindings_of,
+    build_model,
+    collect_python_files,
+    module_name,
+    parse_suppressions,
+)
+
+
+def _bindings(source: str) -> set[str]:
+    tree = ast.parse(textwrap.dedent(source))
+    bound: set[str] = set()
+    for node in tree.body:
+        bound.update(bindings_of(node))
+    return bound
+
+
+# ---------------------------------------------------------------------------
+# Plain binding statements
+
+
+class TestBasicBindings:
+    def test_defs_classes_imports(self):
+        assert _bindings(
+            """
+            import os
+            import os.path
+            import numpy as np
+            from sys import argv, path as syspath
+            from x import *
+
+            def f():
+                pass
+
+            class C:
+                pass
+            """
+        ) == {"os", "np", "argv", "syspath", "f", "C"}
+
+    def test_tuple_and_starred_unpacking(self):
+        assert _bindings("a, (b, [c, *rest]) = value\n") == {
+            "a",
+            "b",
+            "c",
+            "rest",
+        }
+
+    def test_conditional_definitions(self):
+        assert _bindings(
+            """
+            if fast:
+                impl = 1
+            else:
+                impl = 2
+            try:
+                import ujson as json
+            except ImportError:
+                import json
+            """
+        ) == {"impl", "json"}
+
+
+# ---------------------------------------------------------------------------
+# Augmented assignment
+
+
+class TestAugAssign:
+    def test_aug_assign_to_name_binds(self):
+        assert _bindings("total += 1\n") == {"total"}
+
+    def test_aug_assign_to_attribute_binds_nothing(self):
+        # ``self.x += 1`` mutates the object bound to ``self``; it must
+        # not surface ``self`` (or anything) as a module-level binding.
+        assert _bindings("obj.count += 1\n") == set()
+
+    def test_subscript_stores_bind_nothing(self):
+        assert _bindings("d[key] = value\nd[key] += 1\n") == set()
+
+    def test_attribute_assign_binds_nothing(self):
+        assert _bindings("cfg.debug = True\n") == set()
+
+
+# ---------------------------------------------------------------------------
+# try/finally
+
+
+class TestTryFinally:
+    def test_finally_rebinding_is_seen(self):
+        # A name (re)bound only in the ``finally`` block is still a
+        # module-level binding — finally always runs.
+        assert _bindings(
+            """
+            try:
+                handle = acquire()
+            finally:
+                released = True
+            """
+        ) == {"handle", "released"}
+
+    def test_handler_and_orelse_bindings(self):
+        assert _bindings(
+            """
+            try:
+                a = 1
+            except ValueError:
+                b = 2
+            else:
+                c = 3
+            finally:
+                d = 4
+            """
+        ) == {"a", "b", "c", "d"}
+
+
+# ---------------------------------------------------------------------------
+# Walrus (PEP 572)
+
+
+class TestWalrus:
+    def test_walrus_in_expression_statement(self):
+        assert _bindings("(n := 10)\n") == {"n"}
+
+    def test_walrus_in_if_test(self):
+        assert _bindings(
+            """
+            if (m := compute()) > 0:
+                use(m)
+            """
+        ) == {"m"}
+
+    def test_walrus_in_top_level_comprehension_binds_module_scope(self):
+        # PEP 572: the comprehension's walrus binds in the *containing*
+        # scope — at top level, the module namespace. The comprehension
+        # variable itself stays comprehension-local.
+        assert _bindings("ys = [y := f(x) for x in data]\n") == {"ys", "y"}
+
+    def test_comprehension_loop_variable_stays_local(self):
+        assert _bindings("squares = [x * x for x in data]\n") == {"squares"}
+
+    def test_walrus_inside_function_body_stays_local(self):
+        assert _bindings(
+            """
+            def f():
+                return (hidden := 1)
+            """
+        ) == {"f"}
+
+    def test_walrus_in_default_binds_module_scope(self):
+        # Parameter defaults evaluate in the enclosing scope at def
+        # time, so their walruses bind module-level names.
+        assert _bindings(
+            """
+            def f(x=(fallback := 3)):
+                return x
+            """
+        ) == {"f", "fallback"}
+
+    def test_walrus_in_lambda_body_stays_local(self):
+        assert _bindings("g = lambda: (tmp := 1)\n") == {"g"}
+
+    def test_walrus_in_nested_comprehension(self):
+        # Nested comprehensions: the inner walrus still propagates to
+        # the scope containing the *outermost* comprehension.
+        assert _bindings(
+            "grid = [[v := g(i, j) for j in cols] for i in rows]\n"
+        ) == {"grid", "v"}
+
+
+# ---------------------------------------------------------------------------
+# ModuleInfo / model plumbing
+
+
+class TestModelPlumbing:
+    def test_top_level_bindings_via_build_model(self, tmp_path):
+        path = tmp_path / "mod.py"
+        path.write_text(
+            textwrap.dedent(
+                """
+                import ast
+
+                try:
+                    fast = True
+                finally:
+                    slow = False
+
+                if (flag := probe()):
+                    alt = 1
+                """
+            )
+        )
+        project, issues = build_model(collect_python_files([tmp_path]))
+        assert issues == []
+        (info,) = project.modules
+        assert isinstance(info, ModuleInfo)
+        assert info.top_level_bindings() == {
+            "ast",
+            "fast",
+            "slow",
+            "flag",
+            "alt",
+        }
+
+    def test_module_name_walks_packages(self, tmp_path):
+        pkg = tmp_path / "pkg" / "sub"
+        pkg.mkdir(parents=True)
+        (tmp_path / "pkg" / "__init__.py").write_text("")
+        (pkg / "__init__.py").write_text("")
+        mod = pkg / "leaf.py"
+        mod.write_text("x = 1\n")
+        assert module_name(mod) == "pkg.sub.leaf"
+
+    def test_parse_suppressions_tool_scoped(self):
+        src = "# repro-audit: disable=RA005, RA006\n# repro-lint: disable=RL001\n"
+        assert parse_suppressions(src, tool="repro-audit") == frozenset(
+            {"RA005", "RA006"}
+        )
+        assert parse_suppressions(src) == frozenset({"RL001"})
+
+    def test_syntax_error_becomes_issue(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def broken(:\n")
+        project, issues = build_model([bad])
+        assert project.modules == []
+        assert len(issues) == 1
+        assert "syntax error" in issues[0].message
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(pytest.main([__file__, "-q"]))

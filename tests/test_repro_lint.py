@@ -15,7 +15,12 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 if str(REPO_ROOT) not in sys.path:
     sys.path.insert(0, str(REPO_ROOT))
 
-from tools.repro_lint import lint_paths, render_json, render_text  # noqa: E402
+from tools.repro_lint import (  # noqa: E402
+    lint_paths,
+    render_json,
+    render_sarif,
+    render_text,
+)
 from tools.repro_lint.__main__ import main  # noqa: E402
 from tools.repro_lint.rules_docstrings import documented_parameters  # noqa: E402
 
@@ -932,6 +937,46 @@ class TestReporting:
         with pytest.raises(KeyError):
             lint_paths([tmp_path], select=["RL999"])
 
+    def test_sarif_reporter_driver_and_results(self, tmp_path):
+        found = lint_snippet(
+            tmp_path, "def f(acc=[]):\n    return acc\n", select=["RL003"]
+        )
+        log = json.loads(render_sarif(found))
+        assert log["version"] == "2.1.0"
+        (run,) = log["runs"]
+        # The driver name is the contract that keeps this tool
+        # distinguishable from repro-audit in the merged CI upload.
+        assert run["tool"]["driver"]["name"] == "repro-lint"
+        assert {r["id"] for r in run["tool"]["driver"]["rules"]} >= {
+            "RL001",
+            "RL003",
+            "RL007",
+        }
+        (result,) = [r for r in run["results"] if r["ruleId"] == "RL003"]
+        assert "reproLint/v1" in result["partialFingerprints"]
+        location = result["locations"][0]["physicalLocation"]
+        assert location["region"]["startLine"] == 1
+
+    def test_sarif_merge_keeps_distinct_tool_names(self, tmp_path):
+        from tools.merge_sarif import merge_logs
+        from tools.repro_audit import iter_rules as audit_rules
+        from tools.repro_audit.reporting import (
+            render_sarif as render_audit_sarif,
+        )
+
+        lint_log = tmp_path / "lint.sarif"
+        lint_log.write_text(render_sarif([]))
+        audit_log = tmp_path / "audit.sarif"
+        audit_log.write_text(render_audit_sarif([], audit_rules()))
+        merged, warnings = merge_logs(
+            [lint_log, audit_log, tmp_path / "absent.sarif"]
+        )
+        assert len(warnings) == 1 and "absent.sarif" in warnings[0]
+        names = [
+            run["tool"]["driver"]["name"] for run in merged["runs"]
+        ]
+        assert names == ["repro-lint", "repro-audit"]
+
 
 class TestCli:
     def test_exit_zero_on_clean_tree(self, tmp_path, capsys):
@@ -960,6 +1005,21 @@ class TestCli:
         assert main([str(bad), "--select", "RL004"]) == 1
         out = capsys.readouterr().out
         assert "RL004" in out and "RL003" not in out
+
+    def test_sarif_format_to_output_file(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text('__all__ = []\n\ndef f(acc=[]):\n    return acc\n')
+        out_file = tmp_path / "lint.sarif"
+        assert (
+            main(
+                [str(bad), "--format", "sarif", "--output", str(out_file)]
+            )
+            == 1
+        )
+        assert capsys.readouterr().out == ""
+        log = json.loads(out_file.read_text())
+        assert log["runs"][0]["tool"]["driver"]["name"] == "repro-lint"
+        assert log["runs"][0]["results"]
 
     def test_unknown_select_exit_two(self, tmp_path):
         assert main([str(tmp_path), "--select", "RL999"]) == 2

@@ -107,8 +107,56 @@ class ModuleInfo:
         return bound
 
 
+#: Nodes that open a new scope — walruses inside them bind there, not
+#: in the enclosing module namespace.
+_SCOPE_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)
+
+
+def _target_names(target: ast.expr) -> Iterator[str]:
+    """Names one assignment target *binds*. Attribute and subscript
+    stores (``self.x += 1``, ``d[k] = v``) mutate an existing object
+    rather than bind a name, so they yield nothing."""
+    if isinstance(target, ast.Name):
+        yield target.id
+    elif isinstance(target, ast.Starred):
+        yield from _target_names(target.value)
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for elt in target.elts:
+            yield from _target_names(elt)
+
+
+def _walrus_names(node: ast.AST) -> Iterator[str]:
+    """Module-scope names bound by ``:=`` anywhere in a statement.
+
+    PEP 572: a walrus inside a comprehension binds in the *containing*
+    scope, so a top-level comprehension's walrus lands in the module
+    namespace — the recursion therefore descends through comprehension
+    nodes. Walruses inside a nested function/class/lambda bind in that
+    scope and are skipped, except for the parts of such a definition
+    that are evaluated in the enclosing scope (decorators, parameter
+    defaults, base-class expressions).
+    """
+    if isinstance(node, _SCOPE_NODES):
+        outer: list[ast.AST] = list(getattr(node, "decorator_list", []))
+        args = getattr(node, "args", None)
+        if args is not None:
+            outer += list(args.defaults)
+            outer += [d for d in args.kw_defaults if d is not None]
+        if isinstance(node, ast.ClassDef):
+            outer += list(node.bases)
+            outer += [kw.value for kw in node.keywords]
+        for sub in outer:
+            yield from _walrus_names(sub)
+        return
+    if isinstance(node, ast.NamedExpr) and isinstance(node.target, ast.Name):
+        yield node.target.id
+    for child in ast.iter_child_nodes(node):
+        yield from _walrus_names(child)
+
+
 def bindings_of(node: ast.stmt) -> Iterator[str]:
     """Names a single top-level statement binds in the module namespace."""
+    yield from _walrus_names(node)
     if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
         yield node.name
     elif isinstance(node, ast.Import):
@@ -122,14 +170,13 @@ def bindings_of(node: ast.stmt) -> Iterator[str]:
     elif isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
         targets = node.targets if isinstance(node, ast.Assign) else [node.target]
         for target in targets:
-            for leaf in ast.walk(target):
-                if isinstance(leaf, ast.Name):
-                    yield leaf.id
+            yield from _target_names(target)
     elif isinstance(node, (ast.If, ast.Try)):
         # Conditional definitions (version gates, optional imports).
         bodies = [node.body, getattr(node, "orelse", [])]
         for handler in getattr(node, "handlers", []):
             bodies.append(handler.body)
+        bodies.append(getattr(node, "finalbody", []))
         for body in bodies:
             for sub in body:
                 yield from bindings_of(sub)

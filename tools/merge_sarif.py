@@ -1,0 +1,87 @@
+"""Merge SARIF logs into one multi-run log for a single upload.
+
+GitHub code scanning accepts one SARIF file per upload category; a
+file may carry several ``runs``, each with its own tool driver. CI uses
+this to ship the ``repro-lint`` and ``repro-audit`` results as one
+upload while keeping the two tools distinguishable by driver name.
+
+Inputs that are missing or unparseable are skipped with a warning
+rather than failing the merge — a crashed analyser should not also
+take down the other tool's report.
+
+Usage::
+
+    python tools/merge_sarif.py lint.sarif audit.sarif --output merged.sarif
+"""
+
+# CLI entry point: stdout IS the user interface here.
+# repro-lint: disable=RL007
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+__all__ = ["main", "merge_logs"]
+
+SARIF_SCHEMA_URI = "https://json.schemastore.org/sarif-2.1.0.json"
+SARIF_VERSION = "2.1.0"
+
+
+def merge_logs(paths: list[Path]) -> tuple[dict, list[str]]:
+    """Combined SARIF log plus warnings for inputs that were skipped."""
+    runs: list[dict] = []
+    warnings: list[str] = []
+    for path in paths:
+        if not path.exists():
+            warnings.append(f"skipping {path}: no such file")
+            continue
+        try:
+            log = json.loads(path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            warnings.append(f"skipping {path}: not valid JSON ({exc})")
+            continue
+        file_runs = log.get("runs")
+        if not isinstance(file_runs, list):
+            warnings.append(f"skipping {path}: no runs array")
+            continue
+        runs.extend(file_runs)
+    merged = {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": runs,
+    }
+    return merged, warnings
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("inputs", nargs="+", type=Path)
+    parser.add_argument(
+        "--output", metavar="FILE", type=Path, required=True,
+        help="file to write the merged log to",
+    )
+    args = parser.parse_args(argv)
+
+    merged, warnings = merge_logs(args.inputs)
+    for warning in warnings:
+        print(f"merge-sarif: {warning}", file=sys.stderr)
+    args.output.write_text(
+        json.dumps(merged, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    tools = [
+        run.get("tool", {}).get("driver", {}).get("name", "<unnamed>")
+        for run in merged["runs"]
+    ]
+    print(
+        f"merge-sarif: wrote {len(merged['runs'])} run(s) "
+        f"[{', '.join(tools) or 'none'}] to {args.output}."
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

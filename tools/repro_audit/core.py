@@ -20,6 +20,18 @@ runs flow-sensitive contract checks on top of it:
   incremented in the analysed tree must be declared in the
   ``COUNTER_SCHEMA`` registry (``src/repro/obs/schema.py``), and every
   declared counter must be incremented somewhere.
+* ``RA005`` — space-complexity audit: propagate an abstract size
+  lattice (``O(1) < O(b) < O(m) < O(chunk) < O(n) < unbounded``)
+  through each audited entry point and check the per-phase bound
+  against the class's declared ``__space__`` contract (and its
+  ``Memory:`` docstring line).
+* ``RA006`` — allocation-pattern audit: no quadratic-growth
+  reallocation (concatenate-family calls growing their own operand in
+  a loop, per-chunk concatenation in stream loops, re-collection of a
+  parallel fan-out whose length is known up front).
+* ``RA007`` — merge-safety audit: worker-mutated per-shard state needs
+  a called merge-style combiner, and worker counters must round-trip
+  through the harness's dynamic re-emission loop.
 
 Every finding carries a call-graph "why" trace: the chain of calls
 from the audited entry point (or dispatch/try site) to the offending
@@ -173,8 +185,10 @@ def _load_rules() -> None:
     from tools.repro_audit import (  # noqa: F401
         rules_counters,
         rules_exceptions,
+        rules_merge,
         rules_parallel,
         rules_passes,
+        rules_space,
     )
 
 

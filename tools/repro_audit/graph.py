@@ -44,6 +44,7 @@ __all__ = [
     "attr_chain",
     "call_name",
     "decorator_names",
+    "is_dispatch_call",
 ]
 
 #: Import-chasing depth limit (re-export chains through ``__init__``).
@@ -142,6 +143,26 @@ def decorator_names(node: ast.FunctionDef) -> set[str]:
     return names
 
 
+def is_dispatch_call(call: ast.Call) -> bool:
+    """Whether a call fans work out through ``repro.parallel``.
+
+    Recognises ``parallel_map_chunks(...)`` (bare or attribute-qualified)
+    and ``get_backend(...).map(...)``. Shared by every rule family that
+    reasons about parallel workers (RA001/RA002/RA005/RA007).
+    """
+    chain = attr_chain(call.func)
+    if chain and chain[-1] == "parallel_map_chunks":
+        return True
+    if (
+        isinstance(call.func, ast.Attribute)
+        and call.func.attr == "map"
+        and isinstance(call.func.value, ast.Call)
+    ):
+        inner = attr_chain(call.func.value.func)
+        return bool(inner) and inner[-1] == "get_backend"
+    return False
+
+
 class CallGraph:
     """Whole-program model: classes, scopes, call resolution, reachability."""
 
@@ -153,6 +174,12 @@ class CallGraph:
         self._module_funcs: dict[tuple[str, str], FuncNode] = {}
         self._scopes: dict[str, dict[str, object]] = {}
         self._mro_cache: dict[int, list[ClassNode]] = {}
+        # Shared per-run caches: one CallGraph serves every rule family
+        # (RA001-RA007), so sub-computations that used to be re-derived
+        # per rule are memoized here.
+        self._local_types_cache: dict[tuple[int, int], dict[str, ClassNode]] = {}
+        self._calls_cache: dict[int, tuple[ast.Call, ...]] = {}
+        self._dispatch_sites: list[tuple[FuncNode, ast.Call]] | None = None
         self._index()
 
     # ------------------------------------------------------------------
@@ -418,7 +445,13 @@ class CallGraph:
         Single forward scan; only direct ``Name = ClassName(...)`` and
         ``Name = mod.ClassName(...)`` shapes are tracked, plus
         conditional expressions whose branches construct the same class.
+        Results are memoized per (function, receiver class) — every rule
+        family queries the same environments.
         """
+        key = (id(func.node), id(self_cls) if self_cls is not None else 0)
+        cached = self._local_types_cache.get(key)
+        if cached is not None:
+            return cached
         env: dict[str, ClassNode] = {}
         scope = self.scope(func.module)
         for stmt in ast.walk(func.node):
@@ -432,7 +465,37 @@ class CallGraph:
                 env[target.id] = typed
             elif target.id in env:
                 del env[target.id]
+        self._local_types_cache[key] = env
         return env
+
+    def calls_of(self, func: FuncNode) -> tuple[ast.Call, ...]:
+        """Every ``ast.Call`` in a function body, cached per def node."""
+        cached = self._calls_cache.get(id(func.node))
+        if cached is not None:
+            return cached
+        calls = tuple(
+            node
+            for node in ast.walk(func.node)
+            if isinstance(node, ast.Call)
+        )
+        self._calls_cache[id(func.node)] = calls
+        return calls
+
+    def dispatch_sites(self) -> list[tuple[FuncNode, ast.Call]]:
+        """Every ``repro.parallel`` fan-out call site in the project.
+
+        Built once per run and shared by the rule families that audit
+        parallel workers (RA002 determinism, RA007 merge contracts) and
+        allocation patterns around dispatch (RA006).
+        """
+        if self._dispatch_sites is None:
+            sites: list[tuple[FuncNode, ast.Call]] = []
+            for func in self.iter_functions():
+                for call in self.calls_of(func):
+                    if is_dispatch_call(call):
+                        sites.append((func, call))
+            self._dispatch_sites = sites
+        return self._dispatch_sites
 
     def _constructed_class(
         self, expr: ast.expr, scope: dict[str, object]
@@ -594,9 +657,7 @@ class CallGraph:
                 continue
             visited[target.key] = (target, trace)
             env = self.local_types(target.func, target.self_cls)
-            for call in ast.walk(target.func.node):
-                if not isinstance(call, ast.Call):
-                    continue
+            for call in self.calls_of(target.func):
                 for callee in self.resolve_call(
                     call, target.func, target.self_cls, env
                 ):

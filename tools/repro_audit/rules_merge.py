@@ -1,0 +1,263 @@
+"""RA007 — merge-safety contract audit.
+
+ROADMAP item 1 (mergeable sharded fitting) splits a fit across
+``repro.parallel`` workers and combines per-shard partial state. That
+refactor is only trustworthy if the merge obligations are
+machine-checked *before* anyone relies on them:
+
+* **combiner required** — a worker-reachable method that mutates
+  ``self`` state (``self.attr = ...`` / ``self.attr += ...``) produces
+  partial per-shard state the caller never sees unless the owning class
+  defines a merge-style combiner (``merge`` / ``merge_with`` /
+  ``combine``);
+* **combiner called** — a defined combiner that no code calls is a dead
+  contract: the partial state is silently dropped at the join;
+* **counters round-trip** — worker-local counters only survive the join
+  because the harness re-emits every merged name on the main-process
+  recorder. A worker-reachable increment with a *dynamic* (non-literal)
+  name cannot be checked against ``COUNTER_SCHEMA`` (RA004 skips it),
+  so outside the sanctioned harness it is flagged; and if the audited
+  tree contains dispatch sites plus the schema registry, the harness
+  itself must contain the dynamic re-emission loop
+  (``ambient.count(name, merged[name])``) or every worker counter is
+  lost.
+
+Worker discovery is shared with RA002: ``graph.dispatch_sites()`` plus
+``unwrap_callable`` / ``expand_dynamic`` for dynamically-typed worker
+references, so the audit covers every estimator a dispatch site could
+receive.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from tools.repro_audit.core import AuditRule, Finding, register
+from tools.repro_audit.graph import CallGraph, CallTarget, ClassNode
+from tools.repro_audit.rules_counters import SCHEMA_BINDING, _schema_entries
+from tools.repro_audit.rules_parallel import (
+    CONTEXT_INSTALLERS,
+    HARNESS_PREFIX,
+    expand_dynamic,
+)
+
+__all__ = ["MergeContractAudit", "COMBINER_NAMES"]
+
+#: Method names accepted as a merge-style combiner of partial state.
+COMBINER_NAMES = frozenset({"merge", "merge_with", "combine"})
+
+
+def _self_assigned_attrs(node: ast.FunctionDef) -> list[tuple[str, ast.stmt]]:
+    """``self.<attr>`` targets assigned anywhere in a method body."""
+    out: list[tuple[str, ast.stmt]] = []
+    for stmt in ast.walk(node):
+        targets: list[ast.expr] = []
+        if isinstance(stmt, ast.Assign):
+            targets = list(stmt.targets)
+        elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+            targets = [stmt.target]
+        for target in targets:
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                out.append((target.attr, stmt))
+    return out
+
+
+def _dynamic_count_call(call: ast.Call) -> bool:
+    """A ``<recv>.count(<non-literal>, ...)`` counter re-emission shape.
+
+    The receiver restrictions mirror RA004: literal/container receivers
+    are ``str.count`` / ``list.count`` lookalikes, not counter writes.
+    """
+    func = call.func
+    if not (isinstance(func, ast.Attribute) and func.attr == "count"):
+        return False
+    if isinstance(
+        func.value, (ast.Constant, ast.List, ast.Tuple, ast.Dict, ast.Set)
+    ):
+        return False
+    if not call.args:
+        return False
+    first = call.args[0]
+    return not (isinstance(first, ast.Constant) and isinstance(first.value, str))
+
+
+@register
+class MergeContractAudit(AuditRule):
+    code = "RA007"
+    summary = (
+        "parallel workers that mutate per-shard state have a called "
+        "merge-style combiner, and worker counters round-trip through "
+        "the harness re-emission loop"
+    )
+
+    def check(self, graph: CallGraph) -> Iterator[Finding]:
+        roots = self._worker_roots(graph)
+        if not roots:
+            return
+        # Context installers are the harness's sanctioned setup path
+        # (RA002 flags calling them); don't audit their internals here.
+        reached = graph.reachable(
+            roots, prune=lambda t: t.func.name in CONTEXT_INSTALLERS
+        )
+        yield from self._check_partial_state(graph, reached)
+        yield from self._check_counter_roundtrip(graph, reached)
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _worker_roots(
+        graph: CallGraph,
+    ) -> list[tuple[CallTarget, tuple[str, ...]]]:
+        roots: list[tuple[CallTarget, tuple[str, ...]]] = []
+        for func, call in graph.dispatch_sites():
+            if not call.args:
+                continue
+            env = graph.local_types(func, func.cls)
+            dispatch_frame = f"dispatched by {func.frame(call.lineno)}"
+            targets = graph.unwrap_callable(
+                call.args[0], func, func.cls, env
+            )
+            if not targets:
+                targets = expand_dynamic(graph, call.args[0])
+            for target in targets:
+                roots.append((target, (dispatch_frame,)))
+        return roots
+
+    # ------------------------------------------------------------------
+    # Partial-state combiners
+
+    def _check_partial_state(
+        self, graph: CallGraph, reached: dict
+    ) -> Iterator[Finding]:
+        flagged: set[int] = set()
+        for target, trace in reached.values():
+            func = target.func
+            if func.module.module.startswith(HARNESS_PREFIX):
+                continue
+            owner = target.self_cls or func.cls
+            if owner is None:
+                continue
+            # Constructing a fresh object inside the worker is
+            # worker-local by definition; only post-construction
+            # mutation produces partial state that outlives the task.
+            if func.name in ("__init__", "__post_init__"):
+                continue
+            mutations = _self_assigned_attrs(func.node)
+            if not mutations:
+                continue
+            combiner = self._combiner_of(graph, owner)
+            if combiner is None:
+                if id(owner) in flagged:
+                    continue
+                flagged.add(id(owner))
+                attr, stmt = mutations[0]
+                names = sorted({a for a, _ in mutations})
+                yield self.finding(
+                    func.module,
+                    stmt,
+                    f"worker-reachable {func.qualname} mutates per-shard "
+                    f"state (self.{', self.'.join(names)}) but "
+                    f"{owner.name} defines no merge-style combiner "
+                    f"({'/'.join(sorted(COMBINER_NAMES))}) — partial "
+                    "state from parallel shards cannot be recombined",
+                    anchor=f"{owner.qualname}:partial-state",
+                    trace=trace + (func.frame(stmt.lineno),),
+                )
+            else:
+                combiner_cls, combiner_name = combiner
+                if id(combiner_cls) in flagged:
+                    continue
+                flagged.add(id(combiner_cls))
+                if not self._is_called(graph, combiner_name):
+                    node = combiner_cls.own_methods[combiner_name]
+                    yield self.finding(
+                        combiner_cls.module,
+                        node,
+                        f"{combiner_cls.name}.{combiner_name}() is the "
+                        "merge combiner for worker-mutated state but is "
+                        "never called in the audited tree — per-shard "
+                        "partial state is dropped at the join",
+                        anchor=f"{combiner_cls.qualname}.{combiner_name}:uncalled",
+                        trace=trace,
+                    )
+
+    @staticmethod
+    def _combiner_of(
+        graph: CallGraph, cls: ClassNode
+    ) -> tuple[ClassNode, str] | None:
+        for node in graph.mro(cls):
+            for name in sorted(COMBINER_NAMES):
+                if name in node.own_methods:
+                    return node, name
+        return None
+
+    @staticmethod
+    def _is_called(graph: CallGraph, method_name: str) -> bool:
+        for func in graph.iter_functions():
+            if func.name == method_name:
+                continue
+            for call in graph.calls_of(func):
+                if (
+                    isinstance(call.func, ast.Attribute)
+                    and call.func.attr == method_name
+                ):
+                    return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Counter round-trip
+
+    def _check_counter_roundtrip(
+        self, graph: CallGraph, reached: dict
+    ) -> Iterator[Finding]:
+        # Dynamic-name increments reachable from workers, outside the
+        # sanctioned harness, cannot round-trip through COUNTER_SCHEMA.
+        for target, trace in reached.values():
+            func = target.func
+            if func.module.module.startswith(HARNESS_PREFIX):
+                continue
+            for call in graph.calls_of(func):
+                if _dynamic_count_call(call):
+                    yield self.finding(
+                        func.module,
+                        call,
+                        "worker-reachable counter increment with a "
+                        "dynamic name (in "
+                        f"{func.qualname}) cannot be checked against "
+                        f"{SCHEMA_BINDING}; count under a literal name "
+                        "or move the re-emission into the harness",
+                        anchor=f"{func.qualname}:dynamic-count",
+                        trace=trace + (func.frame(call.lineno),),
+                    )
+
+        # The harness itself must re-emit merged worker counters.
+        harness_mods = [
+            info
+            for info in graph.project.modules
+            if info.module.startswith(HARNESS_PREFIX)
+        ]
+        has_schema = any(
+            _schema_entries(info) is not None
+            for info in graph.project.modules
+        )
+        if not harness_mods or not has_schema:
+            return
+        for info in harness_mods:
+            for node in ast.walk(info.tree):
+                if isinstance(node, ast.Call) and _dynamic_count_call(node):
+                    return
+        site_func, site_call = graph.dispatch_sites()[0]
+        yield self.finding(
+            harness_mods[0],
+            None,
+            f"the {HARNESS_PREFIX} harness never re-emits merged worker "
+            "counters (no dynamic <recorder>.count(name, ...) loop) — "
+            "worker-local counters are dropped at the join (first "
+            f"dispatch site: {site_func.frame(site_call.lineno)})",
+            anchor=f"{HARNESS_PREFIX}:no-counter-reemission",
+        )

@@ -43,7 +43,7 @@ from tools.repro_audit.graph import (
     attr_chain,
 )
 
-__all__ = ["ParallelDeterminismAudit"]
+__all__ = ["ParallelDeterminismAudit", "expand_dynamic"]
 
 #: Call names that install ambient context (contextvar mutation).
 CONTEXT_INSTALLERS = frozenset(
@@ -65,18 +65,28 @@ HARNESS_PREFIX = "repro.parallel"
 _MAX_EXPANSION = 24
 
 
-def _is_dispatch(call: ast.Call) -> bool:
-    chain = attr_chain(call.func)
-    if chain and chain[-1] == "parallel_map_chunks":
-        return True
-    if (
-        isinstance(call.func, ast.Attribute)
-        and call.func.attr == "map"
-        and isinstance(call.func.value, ast.Call)
-    ):
-        inner = attr_chain(call.func.value.func)
-        return bool(inner) and inner[-1] == "get_backend"
-    return False
+def expand_dynamic(graph: CallGraph, expr: ast.expr) -> list[CallTarget]:
+    """Expand a dynamic ``obj.method`` worker reference over every
+    concrete scanned class defining that method (capped). Shared by the
+    worker-rooted rules (RA002 determinism, RA007 merge contracts)."""
+    if isinstance(expr, ast.Call):
+        chain = attr_chain(expr.func)
+        if chain and chain[-1] == "partial" and expr.args:
+            return expand_dynamic(graph, expr.args[0])
+        return []
+    if not isinstance(expr, ast.Attribute):
+        return []
+    method = expr.attr
+    targets: list[CallTarget] = []
+    for cls in graph.classes:
+        if graph.is_abstract(cls):
+            continue
+        found = graph.lookup_method(cls, method)
+        if found is not None:
+            targets.append(CallTarget(found, cls))
+        if len(targets) >= _MAX_EXPANSION:
+            break
+    return targets
 
 
 def _rng_call(chain: list[str]) -> str | None:
@@ -124,48 +134,23 @@ class ParallelDeterminismAudit(AuditRule):
         self, graph: CallGraph
     ) -> list[tuple[CallTarget, tuple[str, ...]]]:
         roots: list[tuple[CallTarget, tuple[str, ...]]] = []
-        for func in graph.iter_functions():
+        for func, call in graph.dispatch_sites():
+            if not call.args:
+                continue
             env = graph.local_types(func, func.cls)
-            for call in ast.walk(func.node):
-                if not isinstance(call, ast.Call) or not _is_dispatch(call):
-                    continue
-                if not call.args:
-                    continue
-                worker_expr = call.args[0]
-                dispatch_frame = (
-                    f"dispatched by {func.frame(call.lineno)}"
-                )
-                targets = graph.unwrap_callable(
-                    worker_expr, func, func.cls, env
-                )
-                if not targets:
-                    targets = self._expand_dynamic(graph, worker_expr)
-                for target in targets:
-                    roots.append((target, (dispatch_frame,)))
+            worker_expr = call.args[0]
+            dispatch_frame = f"dispatched by {func.frame(call.lineno)}"
+            targets = graph.unwrap_callable(worker_expr, func, func.cls, env)
+            if not targets:
+                targets = self._expand_dynamic(graph, worker_expr)
+            for target in targets:
+                roots.append((target, (dispatch_frame,)))
         return roots
 
     def _expand_dynamic(
         self, graph: CallGraph, expr: ast.expr
     ) -> list[CallTarget]:
-        """Expand ``obj.method`` over every concrete class defining it."""
-        if isinstance(expr, ast.Call):
-            chain = attr_chain(expr.func)
-            if chain and chain[-1] == "partial" and expr.args:
-                return self._expand_dynamic(graph, expr.args[0])
-            return []
-        if not isinstance(expr, ast.Attribute):
-            return []
-        method = expr.attr
-        targets: list[CallTarget] = []
-        for cls in graph.classes:
-            if graph.is_abstract(cls):
-                continue
-            found = graph.lookup_method(cls, method)
-            if found is not None:
-                targets.append(CallTarget(found, cls))
-            if len(targets) >= _MAX_EXPANSION:
-                break
-        return targets
+        return expand_dynamic(graph, expr)
 
     # ------------------------------------------------------------------
 

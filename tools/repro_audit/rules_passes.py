@@ -44,6 +44,7 @@ from tools.repro_audit.graph import (
     ClassNode,
     FuncNode,
     attr_chain,
+    is_dispatch_call,
 )
 
 __all__ = [
@@ -493,17 +494,7 @@ class PassCounter:
 
     @staticmethod
     def _is_dispatch(call: ast.Call) -> bool:
-        chain = attr_chain(call.func)
-        if chain and chain[-1] == "parallel_map_chunks":
-            return True
-        if (
-            isinstance(call.func, ast.Attribute)
-            and call.func.attr == "map"
-            and isinstance(call.func.value, ast.Call)
-        ):
-            inner = attr_chain(call.func.value.func)
-            return bool(inner) and inner[-1] == "get_backend"
-        return False
+        return is_dispatch_call(call)
 
     def _worker_counts(
         self, call: ast.Call, state: _State, phase: str | None

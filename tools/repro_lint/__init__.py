@@ -44,7 +44,12 @@ from tools.repro_lint.core import (
     lint_paths,
     parse_suppressions,
 )
-from tools.repro_lint.reporting import render_json, render_text, rule_listing
+from tools.repro_lint.reporting import (
+    render_json,
+    render_sarif,
+    render_text,
+    rule_listing,
+)
 
 __all__ = [
     "RULES",
@@ -54,6 +59,7 @@ __all__ = [
     "lint_paths",
     "parse_suppressions",
     "render_json",
+    "render_sarif",
     "render_text",
     "rule_listing",
 ]

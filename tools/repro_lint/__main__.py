@@ -8,7 +8,12 @@ from pathlib import Path
 from typing import Sequence
 
 from tools.repro_lint.core import lint_paths
-from tools.repro_lint.reporting import render_json, render_text, rule_listing
+from tools.repro_lint.reporting import (
+    render_json,
+    render_sarif,
+    render_text,
+    rule_listing,
+)
 
 __all__ = ["main"]
 
@@ -31,9 +36,16 @@ def main(argv: Sequence[str] | None = None) -> int:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="FILE",
+        type=Path,
+        default=None,
+        help="write the report to FILE instead of stdout",
     )
     parser.add_argument(
         "--select",
@@ -73,8 +85,16 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(f"repro-lint: {exc.args[0]}", file=sys.stderr)
         return 2
 
-    renderer = render_json if args.format == "json" else render_text
-    print(renderer(violations))
+    if args.format == "json":
+        report = render_json(violations)
+    elif args.format == "sarif":
+        report = render_sarif(violations)
+    else:
+        report = render_text(violations)
+    if args.output is not None:
+        args.output.write_text(report + "\n", encoding="utf-8")
+    else:
+        print(report)
     return 1 if violations else 0
 
 

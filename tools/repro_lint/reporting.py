@@ -1,4 +1,10 @@
-"""Violation reporters: human-readable text and machine-readable JSON."""
+"""Violation reporters: text, JSON and SARIF 2.1.0.
+
+The SARIF form feeds GitHub code scanning. CI merges this log with
+repro-audit's into a single upload; the two stay distinguishable there
+by driver name (``repro-lint`` vs ``repro-audit``), so the renderer
+must keep that name stable.
+"""
 
 from __future__ import annotations
 
@@ -8,7 +14,10 @@ from typing import Iterable
 
 from tools.repro_lint.core import RULES, Violation, iter_rules
 
-__all__ = ["render_json", "render_text", "rule_listing"]
+__all__ = ["render_json", "render_sarif", "render_text", "rule_listing"]
+
+SARIF_SCHEMA_URI = "https://json.schemastore.org/sarif-2.1.0.json"
+SARIF_VERSION = "2.1.0"
 
 
 def render_text(violations: Iterable[Violation]) -> str:
@@ -37,6 +46,65 @@ def render_json(violations: Iterable[Violation]) -> str:
         },
         indent=2,
     )
+
+
+def render_sarif(violations: Iterable[Violation]) -> str:
+    """SARIF 2.1.0 log for GitHub code-scanning upload."""
+    violations = list(violations)
+    iter_rules()  # ensure rule modules are imported
+    rule_objects = [
+        {
+            "id": code,
+            "name": type(RULES[code]).__name__,
+            "shortDescription": {"text": RULES[code].summary},
+        }
+        for code in sorted(RULES)
+    ]
+    results = []
+    for violation in violations:
+        region: dict = {"startLine": max(1, violation.line)}
+        if violation.col:
+            region["startColumn"] = violation.col + 1
+        results.append(
+            {
+                "ruleId": violation.rule,
+                "level": "error",
+                "message": {"text": violation.message},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {"uri": violation.path},
+                            "region": region,
+                        }
+                    }
+                ],
+                "partialFingerprints": {
+                    "reproLint/v1": (
+                        f"{violation.rule}\t{violation.path}\t"
+                        f"{violation.message}"
+                    )
+                },
+            }
+        )
+    log = {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": (
+                            "https://github.com/paper-repro/repro"
+                        ),
+                        "rules": rule_objects,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(log, indent=2, sort_keys=True)
 
 
 def rule_listing() -> str:
