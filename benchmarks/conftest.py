@@ -14,18 +14,59 @@ kernel evaluations, sample sizes, phase timings). The manifest lands in
 per benchmark under ``BENCH_METRICS_DIR`` (default
 ``results/bench_metrics``), giving the BENCH_*.json trajectory
 structured numbers rather than wall time alone.
+
+Finally, each benchmark appends one record to
+``benchmarks/TRAJECTORY.jsonl`` (override with ``BENCH_TRAJECTORY``):
+bench name, median seconds, the machine's calibration factor from
+``tools/bench_gate.py`` (so medians are comparable across machines),
+the git SHA, and the manifest path. Committed entries accumulate into a
+performance history you can diff across PRs.
 """
 
 from __future__ import annotations
 
+import functools
 import json
 import os
+import subprocess
 from pathlib import Path
 
 import pytest
 
 DEFAULT_SCALE = 0.1
 DEFAULT_METRICS_DIR = os.path.join("results", "bench_metrics")
+DEFAULT_TRAJECTORY = os.path.join("benchmarks", "TRAJECTORY.jsonl")
+
+
+@functools.lru_cache(maxsize=1)
+def _calibration_seconds() -> float | None:
+    """Machine-speed probe from the bench gate (cached per session)."""
+    try:
+        import sys
+
+        sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+        from tools.bench_gate import calibrate
+
+        return round(calibrate(), 6)
+    except Exception:  # pragma: no cover - calibration is best-effort
+        return None
+
+
+@functools.lru_cache(maxsize=1)
+def _git_sha() -> str | None:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=False,
+        )
+    except OSError:  # pragma: no cover - git missing entirely
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
 
 
 @pytest.fixture(scope="session")
@@ -40,11 +81,24 @@ def bench_metrics_dir() -> Path:
     return path
 
 
+@pytest.fixture(scope="session")
+def bench_trajectory() -> Path:
+    path = Path(os.environ.get("BENCH_TRAJECTORY", DEFAULT_TRAJECTORY))
+    path.parent.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def _median_seconds(benchmark) -> float | None:
+    stats = getattr(getattr(benchmark, "stats", None), "stats", None)
+    median = getattr(stats, "median", None)
+    return float(median) if median is not None else None
+
+
 @pytest.fixture
-def run_once(benchmark, bench_metrics_dir):
+def run_once(benchmark, bench_metrics_dir, bench_trajectory, request):
     """Run an experiment exactly once under the benchmark timer, attach
-    its tables and recorded metrics to the benchmark record, and write
-    the run manifest as per-bench JSON."""
+    its tables and recorded metrics to the benchmark record, write the
+    run manifest as per-bench JSON, and append one trajectory record."""
 
     def runner(name: str, scale: float, seed: int = 0):
         from repro.experiments import run_experiment
@@ -61,11 +115,25 @@ def run_once(benchmark, bench_metrics_dir):
             table.title: {"headers": table.headers, "rows": table.rows}
             for table in result.tables
         }
+        manifest_path = None
         if result.manifest is not None:
             metrics = result.manifest.to_dict()
             benchmark.extra_info["metrics"] = metrics
             out = bench_metrics_dir / f"{name}_scale{scale}_seed{seed}.json"
             out.write_text(json.dumps(metrics, indent=2, sort_keys=True))
+            manifest_path = str(out)
+        record = {
+            "bench": request.node.name,
+            "experiment": name,
+            "scale": scale,
+            "seed": seed,
+            "median_seconds": _median_seconds(benchmark),
+            "calibration_seconds": _calibration_seconds(),
+            "git_sha": _git_sha(),
+            "manifest": manifest_path,
+        }
+        with bench_trajectory.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
         return result
 
     return runner

@@ -8,6 +8,13 @@ Commands
     Run one experiment and print its tables.
 ``repro run all [--scale S] [--seed N]``
     Run the full suite in registry order.
+``repro trace export <manifest> --format chrome|prometheus``
+    Export a recorded manifest as a Chrome/Perfetto trace or a
+    Prometheus scrape.
+``repro trace diff <baseline> <candidate>``
+    Compare two manifests phase-by-phase; exit 1 on regression.
+``repro trace coverage <manifest>``
+    Report how much of each phase's wall time its child spans explain.
 """
 # The CLI is the terminal surface: stdout IS its output channel, so
 # bare print() is the sanctioned sink here.
@@ -95,11 +102,95 @@ def build_parser() -> argparse.ArgumentParser:
         "quarantine drops and counts them, repair imputes from chunk "
         "statistics; counts land in the run manifest",
     )
+    run.add_argument(
+        "--profile",
+        action="store_true",
+        help="profile every traced phase (cProfile, scoped per span); "
+        "per-function tables attach to the spans and the manifest",
+    )
+    run.add_argument(
+        "--memory",
+        action="store_true",
+        help="trace allocations (tracemalloc); every span gains a "
+        "bytes_alloc attribute",
+    )
+
+    trace = sub.add_parser(
+        "trace", help="export, diff or analyse recorded run manifests"
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+
+    export = trace_sub.add_parser(
+        "export", help="export a manifest as a trace/scrape file"
+    )
+    export.add_argument("manifest", help="manifest file (.jsonl or .json)")
+    export.add_argument(
+        "--format",
+        choices=("chrome", "prometheus"),
+        default="chrome",
+        help="chrome: Perfetto-loadable trace-event JSON; "
+        "prometheus: text exposition (default: chrome)",
+    )
+    export.add_argument(
+        "--output",
+        metavar="PATH",
+        default=None,
+        help="output file (default: stdout)",
+    )
+    export.add_argument(
+        "--run",
+        metavar="NAME",
+        default=None,
+        help="when the file holds several manifests, pick this run name "
+        "(default: the first manifest)",
+    )
+    export.add_argument(
+        "--validate",
+        action="store_true",
+        help="validate the export (Chrome: B/E pairing and event shape; "
+        "Prometheus: round-trip through the minimal parser) and fail "
+        "on any problem",
+    )
+
+    diff = trace_sub.add_parser(
+        "diff", help="compare two manifests phase-by-phase"
+    )
+    diff.add_argument("baseline", help="baseline manifest file")
+    diff.add_argument("candidate", help="candidate manifest file")
+    diff.add_argument(
+        "--budget",
+        type=float,
+        default=2.0,
+        help="timing noise budget: a phase regresses only beyond this "
+        "slowdown factor (default 2.0)",
+    )
+    diff.add_argument(
+        "--counters-only",
+        action="store_true",
+        help="compare deterministic counters only (exit 1 on any "
+        "difference), ignoring wall-clock",
+    )
+
+    coverage = trace_sub.add_parser(
+        "coverage", help="span-tree attribution report for a manifest"
+    )
+    coverage.add_argument("manifest", help="manifest file (.jsonl or .json)")
+    coverage.add_argument(
+        "--min",
+        type=float,
+        default=None,
+        metavar="FRACTION",
+        dest="min_coverage",
+        help="fail (exit 1) if any phase attributes less than FRACTION "
+        "of its wall time to child spans",
+    )
     return parser
 
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
+    if args.command == "trace":
+        return _trace_main(args)
     if args.command == "guide":
         from repro.core import recommend_settings
 
@@ -129,7 +220,9 @@ def main(argv=None) -> int:
                                     plot=args.plot,
                                     metrics_out=args.metrics_out,
                                     n_jobs=args.n_jobs,
-                                    fault_policy=args.fault_policy)
+                                    fault_policy=args.fault_policy,
+                                    profile=args.profile,
+                                    memory=args.memory)
             if args.trace and result.manifest is not None:
                 manifest = result.manifest
                 print(f"[trace] {name}", file=sys.stderr)
@@ -144,6 +237,96 @@ def main(argv=None) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 1
     return 0
+
+
+def _load_one_manifest(path: str, run: str | None = None):
+    """Load one manifest from ``path`` (exits 2 on any load problem)."""
+    from repro.obs import load_manifests
+
+    try:
+        manifests = load_manifests(path)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"error: cannot load {path}: {exc}", file=sys.stderr)
+        raise SystemExit(2) from exc
+    if run is not None:
+        manifests = [m for m in manifests if m.name == run]
+    if not manifests:
+        qualifier = f" for run {run!r}" if run is not None else ""
+        print(f"error: no manifest{qualifier} in {path}", file=sys.stderr)
+        raise SystemExit(2)
+    return manifests[-1]
+
+
+def _trace_main(args) -> int:
+    from repro.obs import (
+        diff_manifests,
+        parse_prometheus,
+        span_coverage,
+        to_chrome_trace,
+        to_prometheus,
+        validate_chrome_trace,
+    )
+
+    if args.trace_command == "export":
+        import json
+
+        manifest = _load_one_manifest(args.manifest, args.run)
+        if args.format == "chrome":
+            trace = to_chrome_trace(manifest)
+            if args.validate:
+                problems = validate_chrome_trace(trace)
+                if problems:
+                    for problem in problems:
+                        print(f"invalid trace: {problem}", file=sys.stderr)
+                    return 1
+            text = json.dumps(trace, indent=2) + "\n"
+        else:
+            text = to_prometheus(manifest)
+            if args.validate:
+                try:
+                    parse_prometheus(text)
+                except ValueError as exc:
+                    print(f"invalid exposition: {exc}", file=sys.stderr)
+                    return 1
+        if args.output is None:
+            sys.stdout.write(text)
+        else:
+            with open(args.output, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            print(f"wrote {args.format} export to {args.output}")
+        return 0
+
+    if args.trace_command == "diff":
+        baseline = _load_one_manifest(args.baseline)
+        candidate = _load_one_manifest(args.candidate)
+        try:
+            result = diff_manifests(
+                baseline,
+                candidate,
+                budget=args.budget,
+                counters_only=args.counters_only,
+            )
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(result.format())
+        return result.exit_code
+
+    manifest = _load_one_manifest(args.manifest)
+    coverage = span_coverage(manifest)
+    if not coverage:
+        print("no phase ran long enough to attribute (all spans are "
+              "leaves or sub-5ms)")
+        return 0
+    failed = False
+    for name in sorted(coverage):
+        fraction = coverage[name]
+        flag = ""
+        if args.min_coverage is not None and fraction < args.min_coverage:
+            flag = "  [BELOW MIN]"
+            failed = True
+        print(f"{name:<28} {fraction:6.1%}{flag}")
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via -m

@@ -145,25 +145,27 @@ class CureClustering(Clusterer):
         n = pts.shape[0]
         self._pts = pts
         self.n_distance_sweeps_ = 0
-        self._init_state(pts)
-        target = min(self.n_clusters, n)
-        outlier_trigger = (
-            int(np.ceil(n * self.outlier_check_fraction))
-            if self.remove_outliers
-            else -1
-        )
-        outliers_done = not self.remove_outliers
+        with get_recorder().phase("cure_fit") as span:
+            self._init_state(pts)
+            target = min(self.n_clusters, n)
+            outlier_trigger = (
+                int(np.ceil(n * self.outlier_check_fraction))
+                if self.remove_outliers
+                else -1
+            )
+            outliers_done = not self.remove_outliers
 
-        while len(self._clusters) > target and len(self._heap) > 1:
-            if not outliers_done and len(self._clusters) <= outlier_trigger:
-                self._eliminate_outliers()
-                outliers_done = True
-                if len(self._clusters) <= target:
-                    break
-                continue
-            u_id, _ = self._heap.pop()
-            v_id = int(self._closest_id[u_id])
-            self._merge(u_id, v_id)
+            while len(self._clusters) > target and len(self._heap) > 1:
+                if not outliers_done and len(self._clusters) <= outlier_trigger:
+                    self._eliminate_outliers()
+                    outliers_done = True
+                    if len(self._clusters) <= target:
+                        break
+                    continue
+                u_id, _ = self._heap.pop()
+                v_id = int(self._closest_id[u_id])
+                self._merge(u_id, v_id)
+            span.set(rows=int(n), clusters=len(self._clusters))
 
         return self._build_result(pts, n)
 

@@ -61,10 +61,13 @@ class OnePassBiasedSampler(DensityBiasedSampler):
     __n_passes__ = {"fit_density": 1, "estimate_normalizer": 1, "draw": 1}
 
     #: Per-phase peak-allocation bounds of sample() (audited by RA005).
+    #: ``draw_window`` is the draw scan's traced sub-phase: each fan-out
+    #: carries the estimator's O(m) state into its workers.
     __space__ = {
         "fit_density": "O(m)",
         "estimate_normalizer": "O(b + m)",
         "draw": "O(b + chunk)",
+        "draw_window": "O(m)",
     }
 
     def __init__(
@@ -176,22 +179,31 @@ class OnePassBiasedSampler(DensityBiasedSampler):
     ) -> float:
         """Accept/reject one buffered window; returns its expected mass."""
         sampled_points, sampled_idx, sampled_probs, sampled_dens = out
-        window_densities = parallel_map_chunks(
-            estimator.evaluate,
-            [chunk for _, chunk in window],
-            n_jobs=self.n_jobs,
-        )
-        expected = 0.0
-        for (start, chunk), densities in zip(window, window_densities):
-            weights = self._floored_power(densities, floor)
-            probs = np.minimum(1.0, scale * weights)
-            expected += float(probs.sum())
-            keep = rng.random(chunk.shape[0]) < probs
-            if keep.any():
-                sampled_points.append(chunk[keep])
-                sampled_idx.append(start + np.nonzero(keep)[0])
-                sampled_probs.append(probs[keep])
-                sampled_dens.append(densities[keep])
+        recorder = get_recorder()
+        with recorder.phase("draw_window") as span:
+            window_densities = parallel_map_chunks(
+                estimator.evaluate,
+                [chunk for _, chunk in window],
+                n_jobs=self.n_jobs,
+            )
+            expected = 0.0
+            rows = 0
+            accepted = 0
+            for (start, chunk), densities in zip(window, window_densities):
+                rows += int(chunk.shape[0])
+                weights = self._floored_power(densities, floor)
+                probs = np.minimum(1.0, scale * weights)
+                expected += float(probs.sum())
+                keep = rng.random(chunk.shape[0]) < probs
+                if keep.any():
+                    accepted += int(keep.sum())
+                    sampled_points.append(chunk[keep])
+                    sampled_idx.append(start + np.nonzero(keep)[0])
+                    sampled_probs.append(probs[keep])
+                    sampled_dens.append(densities[keep])
+            span.set(chunks=len(window), rows=rows, accepted=accepted)
+        if accepted:
+            recorder.observe("draw_batch_rows", accepted)
         return expected
 
     # -- normaliser estimation ---------------------------------------------------

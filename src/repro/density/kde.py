@@ -217,16 +217,27 @@ class KernelDensityEstimator(DensityEstimator):
 
     def _evaluate_block(self, block: np.ndarray) -> np.ndarray:
         m = self.centers_.shape[0]
+        rows = int(block.shape[0])
+        recorder = get_recorder()
         # One kernel evaluation = one (query point, center) pair.
-        get_recorder().count("kernel_evals", block.shape[0] * m)
-        # Accumulate the product over dimensions one attribute at a time
-        # to avoid materialising a (rows, m, d) tensor.
-        weights = np.ones((block.shape[0], m))
-        for j in range(self.n_dims_):
-            h = self.bandwidths_[j]
-            u = (block[:, j, None] - self.centers_[None, :, j]) / h
-            weights *= self.kernel.profile(u) / h
-        return (self.n_points_ / m) * weights.sum(axis=1)
+        recorder.count("kernel_evals", rows * m)
+        with recorder.phase("kde_eval_block") as span:
+            span.set(rows=rows, centers=m)
+            # Accumulate the product over dimensions one attribute at a
+            # time to avoid materialising a (rows, m, d) tensor.
+            weights = np.ones((rows, m))
+            for j in range(self.n_dims_):
+                h = self.bandwidths_[j]
+                u = (block[:, j, None] - self.centers_[None, :, j]) / h
+                weights *= self.kernel.profile(u) / h
+            densities = (self.n_points_ / m) * weights.sum(axis=1)
+        if recorder.enabled:
+            recorder.observe("kde_eval_chunk_seconds", span.elapsed)
+            if span.elapsed > 0:
+                recorder.observe(
+                    "kde_eval_rows_per_second", rows / span.elapsed
+                )
+        return densities
 
     def ball_mass(self, centers, radius, *, n_mc: int = 256, random_state=None):
         """See :meth:`DensityEstimator.ball_mass` (Monte-Carlo over the ball)."""

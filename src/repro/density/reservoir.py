@@ -23,6 +23,7 @@ import math
 
 import numpy as np
 
+from repro.obs import get_recorder
 from repro.utils.streams import DataStream, as_stream
 from repro.utils.validation import check_random_state
 
@@ -77,6 +78,7 @@ class ReservoirSampler:
             return
         if self._reservoir is None:
             self._reservoir = np.empty((self.capacity, chunk.shape[1]))
+        accepts = 0
         pos = 0
         if self._filled < self.capacity:
             # Fill phase: copy rows in bulk until the reservoir is full.
@@ -84,10 +86,12 @@ class ReservoirSampler:
             self._reservoir[self._filled : self._filled + take] = chunk[:take]
             self._filled += take
             self.n_seen += take
+            accepts += take
             pos = take
             if self._filled == self.capacity:
                 self._schedule_next(self.n_seen - 1)
             if pos >= n_rows:
+                get_recorder().count("reservoir_accepts", accepts)
                 return
         # Skip phase: jump straight to each accepted row.
         base = self.n_seen - pos  # absolute index of chunk[0]
@@ -96,8 +100,11 @@ class ReservoirSampler:
             row = chunk[self._next_accept - base]
             slot = int(self._uniform() * self.capacity)
             self._reservoir[slot] = row
+            accepts += 1
             self._schedule_next(self._next_accept)
         self.n_seen = end
+        if accepts:
+            get_recorder().count("reservoir_accepts", accepts)
 
     def _schedule_next(self, current: int) -> None:
         """Update ``w`` and draw the geometric skip to the next accept."""

@@ -13,6 +13,7 @@ from repro.obs import (
     RunManifest,
     Stopwatch,
     get_recorder,
+    trace_memory,
     use_recorder,
 )
 from repro.parallel import use_n_jobs
@@ -34,6 +35,8 @@ def run_experiment(
     metrics_out=None,
     n_jobs: int | None = None,
     fault_policy=None,
+    profile: bool = False,
+    memory: bool = False,
 ) -> ExperimentResult:
     """Run one experiment and (optionally) print its report.
 
@@ -75,11 +78,20 @@ def run_experiment(
         ``"repair"``), a :class:`repro.faults.RowQuarantine`, or
         ``None`` to leave the ambient policy in place (default
         strict). Quarantine/repair counters land in the run manifest.
+    profile:
+        Run every recorder span under a scoped profiler (see
+        :mod:`repro.obs.profiler`); per-function tables attach to the
+        owning spans and an aggregated table lands in the manifest.
+        Only meaningful with ``record``.
+    memory:
+        Enable :mod:`tracemalloc` for the run, so every span closes
+        with a ``bytes_alloc`` attribute. Only meaningful with
+        ``record``.
     """
     spec = get_experiment(name)
     stream = out if out is not None else sys.stdout
     if record:
-        recorder = Recorder()
+        recorder = Recorder(profile=profile)
         context = use_recorder(recorder)
     else:
         recorder = get_recorder()
@@ -90,7 +102,10 @@ def run_experiment(
         if fault_policy is not None
         else nullcontext()
     )
-    with context, jobs_context, policy_context, Stopwatch() as watch:
+    memory_context = trace_memory() if (record and memory) else nullcontext()
+    with context, jobs_context, policy_context, memory_context, (
+        Stopwatch()
+    ) as watch:
         with recorder.phase(f"run:{name}"):
             result = spec.run(scale=scale, seed=seed)
     if record:

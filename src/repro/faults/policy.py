@@ -184,6 +184,7 @@ class RowQuarantine:
             )
         if self.mode == "quarantine":
             recorder.count("rows_quarantined", n_bad)
+            recorder.observe("quarantine_batch_rows", n_bad)
             return chunk[~bad_rows]
         recorder.count("rows_repaired", n_bad)
         recorder.count("cells_repaired", int(bad_cells.sum()))

@@ -1,0 +1,240 @@
+"""Chrome trace-event export: manifests → Perfetto-loadable JSON.
+
+Converts a :class:`~repro.obs.manifest.RunManifest` span tree into the
+Chrome trace-event format (the ``chrome://tracing`` / Perfetto JSON
+dialect): every span becomes a ``B``/``E`` duration pair with
+microsecond timestamps, span attributes and counter deltas ride along
+in ``args``, and ``M`` metadata events name the process and one thread
+track per parallel worker.
+
+Two timebases meet here. Main-recorder spans carry ``start_s`` relative
+to the run's recorder; spans adopted from :mod:`repro.parallel` workers
+carry timestamps relative to *their worker's* recorder (each task gets
+a fresh one), and several tasks that executed on the same worker slot
+may overlap once naively overlaid. The exporter therefore lays worker
+subtrees out on their track sequentially: each adopted subtree starts
+at the later of its parent's start and the track's cursor, preserving
+relative offsets inside the subtree. The result reads as "what ran on
+each track, in order, for how long" — durations and nesting are exact,
+cross-track alignment is schedule-accurate only in submission order.
+
+:func:`validate_chrome_trace` checks the invariants the tests and CI
+pin (required keys, per-track B/E pairing, name match at close) in pure
+python; :data:`CHROME_TRACE_SCHEMA` is the same contract as a JSON
+Schema document for external validators.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.obs.manifest import RunManifest
+
+__all__ = [
+    "CHROME_TRACE_SCHEMA",
+    "to_chrome_trace",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+]
+
+#: JSON Schema (draft-07 subset) for the exported trace document. The
+#: exporter tests validate every export against this schema, so the
+#: shape is pinned both structurally (here) and semantically
+#: (:func:`validate_chrome_trace`).
+CHROME_TRACE_SCHEMA: dict = {
+    "$schema": "http://json-schema.org/draft-07/schema#",
+    "type": "object",
+    "required": ["traceEvents", "displayTimeUnit"],
+    "properties": {
+        "displayTimeUnit": {"type": "string", "enum": ["ms", "ns"]},
+        "traceEvents": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": ["name", "ph", "pid", "tid"],
+                "properties": {
+                    "name": {"type": "string", "minLength": 1},
+                    "ph": {"type": "string", "enum": ["B", "E", "M"]},
+                    "pid": {"type": "integer", "minimum": 0},
+                    "tid": {"type": "integer", "minimum": 0},
+                    "ts": {"type": "number", "minimum": 0},
+                    "args": {"type": "object"},
+                },
+            },
+        },
+    },
+}
+
+#: The single pid used for all events (one manifest == one process).
+_PID = 1
+
+#: tid of the main (non-worker) track.
+_MAIN_TID = 0
+
+
+def to_chrome_trace(manifest: RunManifest) -> dict:
+    """Convert a manifest's span tree to a Chrome trace-event document.
+
+    Parameters
+    ----------
+    manifest:
+        The manifest whose ``spans`` to export.
+
+    Returns
+    -------
+    dict
+        ``{"traceEvents": [...], "displayTimeUnit": "ms"}`` ready to be
+        ``json.dump``-ed and loaded in Perfetto.
+    """
+    events: list[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": _PID,
+            "tid": _MAIN_TID,
+            "args": {"name": f"repro:{manifest.name}"},
+        },
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": _PID,
+            "tid": _MAIN_TID,
+            "args": {"name": "main"},
+        },
+    ]
+    named_tracks = {_MAIN_TID}
+    cursors: dict[int, float] = {}
+
+    def walk(span: dict, tid: int, offset: float, parent_end: float) -> None:
+        attrs = span.get("attrs", {})
+        worker = attrs.get("worker")
+        if worker is not None and tid == _MAIN_TID:
+            # Root of an adopted worker subtree: move to the worker's
+            # track and pack sequentially after whatever already ran
+            # there (worker timestamps are in the worker's timebase).
+            tid = int(worker) + 1
+            if tid not in named_tracks:
+                named_tracks.add(tid)
+                events.append(
+                    {
+                        "name": "thread_name",
+                        "ph": "M",
+                        "pid": _PID,
+                        "tid": tid,
+                        "args": {"name": f"worker-{int(worker)}"},
+                    }
+                )
+            abs_start = max(cursors.get(tid, 0.0), 0.0)
+            offset = abs_start - float(span.get("start_s", 0.0))
+        abs_start = float(span.get("start_s", 0.0)) + offset
+        abs_end = abs_start + max(0.0, float(span.get("elapsed_s", 0.0)))
+        args: dict = {}
+        if attrs:
+            args["attrs"] = {
+                key: value
+                for key, value in attrs.items()
+                if key != "profile"
+            }
+        if span.get("counters"):
+            args["counters"] = span["counters"]
+        begin = {
+            "name": span["name"],
+            "ph": "B",
+            "pid": _PID,
+            "tid": tid,
+            "ts": abs_start * 1e6,
+        }
+        if args:
+            begin["args"] = args
+        events.append(begin)
+        for child in span.get("children", []):
+            walk(child, tid, offset, abs_end)
+        events.append(
+            {
+                "name": span["name"],
+                "ph": "E",
+                "pid": _PID,
+                "tid": tid,
+                "ts": abs_end * 1e6,
+            }
+        )
+        cursors[tid] = max(cursors.get(tid, 0.0), abs_end)
+
+    for root in manifest.spans:
+        walk(root, _MAIN_TID, 0.0, float("inf"))
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(manifest: RunManifest, path: str | Path) -> None:
+    """Export ``manifest`` as a Chrome trace JSON file at ``path``."""
+    Path(path).write_text(
+        json.dumps(to_chrome_trace(manifest), indent=2) + "\n",
+        encoding="utf-8",
+    )
+
+
+def validate_chrome_trace(trace: dict) -> list[str]:
+    """Check a trace document against the exporter's invariants.
+
+    Pure-python semantic validation (usable where :mod:`jsonschema` is
+    unavailable): required keys per event, ``B``/``E`` pairing per
+    track with matching names, non-negative non-decreasing duration per
+    pair, and no events left open.
+
+    Parameters
+    ----------
+    trace:
+        A document as produced by :func:`to_chrome_trace`.
+
+    Returns
+    -------
+    list of str
+        Human-readable problems; empty when the trace is valid.
+    """
+    problems: list[str] = []
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents must be a list."]
+    stacks: dict[int, list[dict]] = {}
+    for i, event in enumerate(events):
+        for key in ("name", "ph", "pid", "tid"):
+            if key not in event:
+                problems.append(f"event {i} missing key {key!r}.")
+        ph = event.get("ph")
+        if ph == "M":
+            continue
+        if ph not in ("B", "E"):
+            problems.append(f"event {i} has unknown phase {ph!r}.")
+            continue
+        if "ts" not in event:
+            problems.append(f"event {i} ({ph}) missing ts.")
+            continue
+        tid = event.get("tid", 0)
+        stack = stacks.setdefault(tid, [])
+        if ph == "B":
+            stack.append(event)
+            continue
+        if not stack:
+            problems.append(
+                f"event {i}: E {event.get('name')!r} on tid {tid} "
+                "without an open B."
+            )
+            continue
+        begin = stack.pop()
+        if begin.get("name") != event.get("name"):
+            problems.append(
+                f"event {i}: E {event.get('name')!r} closes "
+                f"B {begin.get('name')!r} on tid {tid}."
+            )
+        if event.get("ts", 0) < begin.get("ts", 0):
+            problems.append(
+                f"event {i}: E ts precedes its B ts on tid {tid} "
+                f"({event.get('name')!r})."
+            )
+    for tid, stack in sorted(stacks.items()):
+        for begin in stack:
+            problems.append(
+                f"tid {tid}: B {begin.get('name')!r} never closed."
+            )
+    return problems

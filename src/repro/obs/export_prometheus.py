@@ -1,0 +1,200 @@
+"""Prometheus/OpenMetrics text exposition from a run manifest.
+
+Renders a :class:`~repro.obs.manifest.RunManifest` as the Prometheus
+text exposition format: counters as ``repro_<name>_total``, per-phase
+timer totals as a ``repro_phase_seconds`` gauge labelled by phase, and
+each histogram as the standard cumulative ``_bucket{le=...}`` series
+with ``_sum``/``_count``. Every sample carries a ``run`` label with the
+manifest name so scrapes from several runs concatenate safely.
+
+This is an *export of a finished run*, not a live scrape endpoint — the
+future ``repro serve`` layer will mount the same rendering behind HTTP.
+:func:`parse_prometheus` is the minimal inverse used by the round-trip
+tests and by ``repro trace export --validate``: it understands exactly
+the subset this module emits (HELP/TYPE comments, labelled samples)
+and hands back ``{metric: {labels_tuple: value}}``.
+"""
+
+from __future__ import annotations
+
+import math
+from pathlib import Path
+
+from repro.obs.histogram import Histogram
+from repro.obs.manifest import RunManifest
+from repro.obs.schema import COUNTER_SCHEMA, HISTOGRAM_SCHEMA
+
+__all__ = [
+    "parse_prometheus",
+    "to_prometheus",
+    "write_prometheus",
+]
+
+_PREFIX = "repro"
+
+
+def _escape_label(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _fmt(value: float) -> str:
+    value = float(value)
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def to_prometheus(manifest: RunManifest) -> str:
+    """Render ``manifest`` in the Prometheus text exposition format.
+
+    Parameters
+    ----------
+    manifest:
+        The manifest whose counters/timers/histograms to expose.
+
+    Returns
+    -------
+    str
+        Exposition text, terminated by a newline.
+    """
+    run = _escape_label(manifest.name)
+    lines: list[str] = []
+
+    for name in sorted(manifest.counters):
+        metric = f"{_PREFIX}_{name}_total"
+        spec = COUNTER_SCHEMA.get(name)
+        if spec is not None:
+            lines.append(f"# HELP {metric} {spec.meaning}")
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(
+            f'{metric}{{run="{run}"}} {_fmt(manifest.counters[name])}'
+        )
+
+    if manifest.timers:
+        metric = f"{_PREFIX}_phase_seconds"
+        lines.append(
+            f"# HELP {metric} total wall seconds per recorder phase"
+        )
+        lines.append(f"# TYPE {metric} gauge")
+        for phase in sorted(manifest.timers):
+            lines.append(
+                f'{metric}{{run="{run}",phase="{_escape_label(phase)}"}} '
+                f"{_fmt(manifest.timers[phase])}"
+            )
+
+    for name in sorted(manifest.histograms):
+        hist = Histogram.from_dict(manifest.histograms[name], name)
+        metric = f"{_PREFIX}_{name}"
+        spec = HISTOGRAM_SCHEMA.get(name)
+        if spec is not None:
+            lines.append(f"# HELP {metric} {spec.meaning}")
+        lines.append(f"# TYPE {metric} histogram")
+        cumulative = 0
+        for bound, count in zip(hist.bounds, hist.counts):
+            cumulative += count
+            lines.append(
+                f'{metric}_bucket{{run="{run}",le="{_fmt(bound)}"}} '
+                f"{cumulative}"
+            )
+        lines.append(
+            f'{metric}_bucket{{run="{run}",le="+Inf"}} {hist.count}'
+        )
+        lines.append(f'{metric}_sum{{run="{run}"}} {_fmt(hist.sum)}')
+        lines.append(f'{metric}_count{{run="{run}"}} {hist.count}')
+
+    return "\n".join(lines) + "\n"
+
+
+def write_prometheus(manifest: RunManifest, path: str | Path) -> None:
+    """Export ``manifest`` as Prometheus text at ``path``."""
+    Path(path).write_text(to_prometheus(manifest), encoding="utf-8")
+
+
+def parse_prometheus(text: str) -> dict[str, dict[tuple, float]]:
+    """Parse the subset of the exposition format this module emits.
+
+    Parameters
+    ----------
+    text:
+        Exposition text (comments and blank lines are skipped).
+
+    Returns
+    -------
+    dict
+        ``{metric_name: {((label, value), ...): sample_value}}`` with
+        label tuples sorted by label name.
+
+    Raises
+    ------
+    ValueError
+        On a line that is neither a comment nor a valid sample.
+    """
+    samples: dict[str, dict[tuple, float]] = {}
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        name_part, _, value_part = line.rpartition(" ")
+        if not name_part:
+            raise ValueError(f"line {lineno}: no metric/value split: {raw!r}")
+        labels: tuple = ()
+        metric = name_part
+        if "{" in name_part:
+            if not name_part.endswith("}"):
+                raise ValueError(f"line {lineno}: unterminated labels: {raw!r}")
+            metric, _, label_blob = name_part.partition("{")
+            pairs = []
+            for item in _split_labels(label_blob[:-1]):
+                key, _, quoted = item.partition("=")
+                if not (quoted.startswith('"') and quoted.endswith('"')):
+                    raise ValueError(
+                        f"line {lineno}: unquoted label value: {raw!r}"
+                    )
+                pairs.append(
+                    (
+                        key,
+                        quoted[1:-1]
+                        .replace("\\n", "\n")
+                        .replace('\\"', '"')
+                        .replace("\\\\", "\\"),
+                    )
+                )
+            labels = tuple(sorted(pairs))
+        if value_part == "+Inf":
+            value = float("inf")
+        elif value_part == "-Inf":
+            value = float("-inf")
+        else:
+            value = float(value_part)
+        samples.setdefault(metric, {})[labels] = value
+    return samples
+
+
+def _split_labels(blob: str) -> list[str]:
+    """Split ``k1="v1",k2="v2"`` on commas outside quoted values."""
+    items: list[str] = []
+    depth_quote = False
+    current = []
+    i = 0
+    while i < len(blob):
+        ch = blob[i]
+        if ch == "\\" and depth_quote and i + 1 < len(blob):
+            current.append(ch)
+            current.append(blob[i + 1])
+            i += 2
+            continue
+        if ch == '"':
+            depth_quote = not depth_quote
+        if ch == "," and not depth_quote:
+            items.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+        i += 1
+    if current:
+        items.append("".join(current))
+    return items

@@ -3,10 +3,16 @@
 A :class:`RunManifest` captures everything needed to interpret (and
 re-run) one experiment or pipeline execution: the run name, the seed and
 parameters, package/platform versions, and the recorder's counters,
-timers and span tree. Manifests serialise to a single JSON line so a
-file of them is an append-only log that trivially concatenates across
-runs and machines; :meth:`RunManifest.emit` writes that line to stderr,
-a path, an open stream, or hands the dict to a callable sink.
+histograms, timers and span tree. Manifests serialise to a single JSON
+line so a file of them is an append-only log that trivially concatenates
+across runs and machines; :meth:`RunManifest.emit` writes that line to
+stderr, a path, an open stream, or hands the dict to a callable sink.
+
+Manifests are versioned: ``schema_version`` is 2 as of the telemetry
+pipeline (histograms, span attrs/timestamps, profile tables); documents
+without the field are treated as v1 and :meth:`RunManifest.from_dict`
+loads them tolerantly — unknown keys are ignored, missing sections
+default to empty — so old metrics files keep loading forever.
 
 No wall-clock timestamp is recorded: manifests are deliberately a pure
 function of (code, parameters, seed) plus wall-time measurements, so two
@@ -26,9 +32,17 @@ from typing import IO, Callable, Union
 from repro.obs.recorder import Recorder
 
 __all__ = [
+    "SCHEMA_VERSION",
     "RunManifest",
     "collect_environment",
+    "load_manifests",
 ]
+
+#: Current manifest schema version. v1: counters/timers/spans only.
+#: v2: adds ``schema_version``, ``histograms`` (with p50/p90/p99
+#: summaries) and the aggregated ``profile`` table; spans gain
+#: ``start_s`` and ``attrs``.
+SCHEMA_VERSION = 2
 
 #: Accepted ``emit`` sinks: None (stderr), a path, an open text stream,
 #: or a callable receiving the manifest dictionary.
@@ -73,10 +87,18 @@ class RunManifest:
         Versions and platform, from :func:`collect_environment`.
     counters:
         Final counter totals from the recorder.
+    histograms:
+        Histogram sketches (``Histogram.to_dict`` per metric name,
+        including p50/p90/p99 summaries).
     timers:
         Total elapsed seconds per span name.
     spans:
         Nested span tree (list of ``Span.to_dict`` dictionaries).
+    profile:
+        Aggregated per-function attribution across the span tree
+        (present only for ``--profile`` runs).
+    schema_version:
+        Manifest schema version this document was written with.
     """
 
     name: str
@@ -84,8 +106,11 @@ class RunManifest:
     params: dict = field(default_factory=dict)
     environment: dict = field(default_factory=collect_environment)
     counters: dict = field(default_factory=dict)
+    histograms: dict = field(default_factory=dict)
     timers: dict = field(default_factory=dict)
     spans: list = field(default_factory=list)
+    profile: list = field(default_factory=list)
+    schema_version: int = SCHEMA_VERSION
 
     @classmethod
     def from_recorder(
@@ -108,14 +133,18 @@ class RunManifest:
         params:
             Extra run parameters worth preserving.
         """
+        from repro.obs.profiler import merge_profiles
+
         snap = recorder.snapshot()
         return cls(
             name=name,
             seed=seed,
             params=dict(params or {}),
             counters=snap["counters"],
+            histograms=snap.get("histograms", {}),
             timers=snap["timers"],
             spans=snap["spans"],
+            profile=merge_profiles(snap["spans"]),
         )
 
     @property
@@ -130,23 +159,31 @@ class RunManifest:
     def to_dict(self) -> dict:
         """Plain-dict form (inverse of :meth:`from_dict`)."""
         return {
+            "schema_version": self.schema_version,
             "name": self.name,
             "seed": self.seed,
             "params": dict(self.params),
             "environment": dict(self.environment),
             "counters": dict(self.counters),
+            "histograms": dict(self.histograms),
             "timers": dict(self.timers),
             "spans": list(self.spans),
+            "profile": list(self.profile),
         }
 
     @classmethod
     def from_dict(cls, data: dict) -> "RunManifest":
         """Rebuild a manifest from :meth:`to_dict` output.
 
+        Tolerant by contract: unknown keys are ignored, missing sections
+        default to empty, and a document without ``schema_version`` is a
+        v1 manifest (pre-histogram/span-attr era) and loads with empty
+        histograms and profile.
+
         Parameters
         ----------
         data:
-            Dictionary in the :meth:`to_dict` schema.
+            Dictionary in the :meth:`to_dict` schema (any version).
         """
         return cls(
             name=data["name"],
@@ -154,8 +191,11 @@ class RunManifest:
             params=dict(data.get("params", {})),
             environment=dict(data.get("environment", {})),
             counters=dict(data.get("counters", {})),
+            histograms=dict(data.get("histograms", {})),
             timers=dict(data.get("timers", {})),
             spans=list(data.get("spans", [])),
+            profile=list(data.get("profile", [])),
+            schema_version=int(data.get("schema_version", 1)),
         )
 
     def to_json(self) -> str:
@@ -197,3 +237,34 @@ class RunManifest:
             return
         with open(sink, "a", encoding="utf-8") as handle:
             handle.write(self.to_json() + "\n")
+
+
+def load_manifests(path: str | Path) -> list[RunManifest]:
+    """Load every manifest stored in ``path``.
+
+    Accepts both on-disk shapes the repo produces: a ``.jsonl``
+    append-only log (one manifest per line, from :meth:`RunManifest.emit`)
+    and a single pretty-printed JSON document (the per-bench metrics
+    files the benchmark suite writes).
+
+    Parameters
+    ----------
+    path:
+        File to read. Blank lines are skipped.
+
+    Returns
+    -------
+    list of RunManifest
+        In file order; empty for an empty file.
+    """
+    text = Path(path).read_text(encoding="utf-8").strip()
+    if not text:
+        return []
+    if text.startswith("{") and "\n{" not in text:
+        # One document — possibly pretty-printed across many lines.
+        return [RunManifest.from_dict(json.loads(text))]
+    return [
+        RunManifest.from_json(line)
+        for line in text.splitlines()
+        if line.strip()
+    ]

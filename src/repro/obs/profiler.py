@@ -1,0 +1,125 @@
+"""Opt-in per-span profiling helpers (stdlib-only).
+
+When a :class:`~repro.obs.recorder.Recorder` is created with
+``profile=True``, every span runs under a scoped :mod:`cProfile`
+profiler. The recorder stack-switches profilers on span entry/exit —
+the enclosing span's profiler is paused while a child span runs — so a
+span's table attributes the time spent in its *own* code, not its
+children's. :func:`profile_summary` reduces one finished profiler to a
+compact per-function table; :func:`merge_profiles` aggregates the
+tables across a whole span tree for the manifest's top-N summary.
+
+Caveats (see DESIGN.md §12): profiling is wall-clock and therefore
+non-deterministic — two runs of the same seed produce identical
+counters but different profile timings — and the instrumentation
+overhead of cProfile perturbs the timings it reports. Use it for
+attribution ("which function dominates this span"), never for
+regression gating; the bench gate exists for that.
+"""
+
+from __future__ import annotations
+
+import io
+import pstats
+import tracemalloc
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = [
+    "merge_profiles",
+    "profile_summary",
+    "trace_memory",
+]
+
+#: Functions kept per span table (sorted by self time, descending).
+_TOP_FUNCTIONS = 12
+
+
+def profile_summary(prof, top: int = _TOP_FUNCTIONS) -> list[dict]:
+    """Reduce a finished ``cProfile.Profile`` to a per-function table.
+
+    Parameters
+    ----------
+    prof:
+        A profiler that has been ``disable()``-d.
+    top:
+        Number of functions to keep, sorted by self time descending.
+
+    Returns
+    -------
+    list of dict
+        Rows ``{"function", "calls", "self_s", "cum_s"}`` where
+        ``function`` is ``"file:line(name)"`` with the path reduced to
+        its basename.
+    """
+    stats = pstats.Stats(prof, stream=io.StringIO())
+    rows = []
+    for (filename, line, name), (_cc, ncalls, tottime, cumtime, _callers) in (
+        stats.stats.items()  # type: ignore[attr-defined]
+    ):
+        if name.startswith("<method 'disable'"):
+            continue
+        short = filename.rsplit("/", 1)[-1] if "/" in filename else filename
+        rows.append(
+            {
+                "function": f"{short}:{line}({name})",
+                "calls": int(ncalls),
+                "self_s": float(tottime),
+                "cum_s": float(cumtime),
+            }
+        )
+    rows.sort(key=lambda row: (-row["self_s"], row["function"]))
+    return rows[: max(0, int(top))]
+
+
+def merge_profiles(spans: list[dict], top: int = _TOP_FUNCTIONS) -> list[dict]:
+    """Aggregate per-span profile tables across a span forest.
+
+    Walks the ``Span.to_dict`` trees, sums ``calls``/``self_s`` per
+    function across every span that carries an ``attrs["profile"]``
+    table, and returns the overall top-``top`` rows. Cumulative time is
+    *not* aggregated — summing ``cum_s`` across spans double-counts
+    nested frames — so the merged rows carry only self time.
+
+    Parameters
+    ----------
+    spans:
+        Nested span dictionaries (``Recorder.snapshot()["spans"]``).
+    top:
+        Number of functions to keep in the merged table.
+    """
+    totals: dict[str, dict] = {}
+    stack = list(spans)
+    while stack:
+        span = stack.pop()
+        for row in span.get("attrs", {}).get("profile", []):
+            entry = totals.setdefault(
+                row["function"],
+                {"function": row["function"], "calls": 0, "self_s": 0.0},
+            )
+            entry["calls"] += int(row.get("calls", 0))
+            entry["self_s"] += float(row.get("self_s", 0.0))
+        stack.extend(span.get("children", []))
+    rows = sorted(
+        totals.values(), key=lambda row: (-row["self_s"], row["function"])
+    )
+    return rows[: max(0, int(top))]
+
+
+@contextmanager
+def trace_memory() -> Iterator[None]:
+    """Enable :mod:`tracemalloc` for a block (no-op if already tracing).
+
+    While tracing is active, every recorder span closes with a
+    ``bytes_alloc`` attribute — the net traced-allocation delta across
+    the span. Like profiling, the numbers are diagnostic, not
+    deterministic, and tracing slows allocation-heavy code noticeably.
+    """
+    if tracemalloc.is_tracing():
+        yield
+        return
+    tracemalloc.start()
+    try:
+        yield
+    finally:
+        tracemalloc.stop()

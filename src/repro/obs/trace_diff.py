@@ -1,0 +1,174 @@
+"""Phase-by-phase comparison of two run manifests.
+
+``repro trace diff A.json B.json`` answers the question every perf PR
+asks: did anything regress between these two runs? The comparison has
+two halves with very different semantics:
+
+* **Counters are exact.** Counter totals are deterministic functions of
+  (code, parameters, seed), so any difference is a real behavioural
+  change — the serial-vs-parallel CI check runs with ``counters_only``
+  and expects byte-equality.
+* **Timers are budgeted.** Wall-clock varies across machines and runs,
+  so per-phase timings compare as ratios against a noise budget (the
+  same ``2.0×`` philosophy as ``tools/bench_gate.py``): a phase is
+  *regressed* only when it slowed by more than the budget, *improved*
+  when it sped up by more than the budget, *unchanged* otherwise.
+
+:func:`span_coverage` is the attribution metric from the acceptance
+criteria: for each phase span with children, the fraction of its wall
+time covered by named child spans — low coverage means untraced time
+hiding inside a phase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.obs.manifest import RunManifest
+
+__all__ = [
+    "DiffResult",
+    "diff_manifests",
+    "span_coverage",
+]
+
+#: Phases faster than this (seconds) in both runs are never flagged:
+#: at sub-millisecond scales the timer ratio is pure noise.
+_MIN_PHASE_SECONDS = 0.005
+
+
+@dataclass
+class DiffResult:
+    """Outcome of comparing two manifests.
+
+    Attributes
+    ----------
+    verdict:
+        ``"regressed"`` if any counter differs or any phase slowed
+        beyond budget; else ``"improved"`` if at least one phase beat
+        the budget; else ``"unchanged"``.
+    counter_diffs:
+        ``(name, value_a, value_b)`` for every differing counter
+        (missing counters appear as ``None``).
+    phase_verdicts:
+        ``(phase, seconds_a, seconds_b, verdict)`` per phase name.
+    """
+
+    verdict: str = "unchanged"
+    counter_diffs: list[tuple] = field(default_factory=list)
+    phase_verdicts: list[tuple] = field(default_factory=list)
+
+    @property
+    def exit_code(self) -> int:
+        """Process exit code: 0 unchanged/improved, 1 regressed."""
+        return 1 if self.verdict == "regressed" else 0
+
+    def format(self) -> str:
+        """Human-readable report, one line per finding."""
+        lines = []
+        for name, a, b in self.counter_diffs:
+            lines.append(f"counter {name}: {a!r} -> {b!r}  [CHANGED]")
+        for phase, a, b, verdict in self.phase_verdicts:
+            if verdict == "unchanged":
+                continue
+            lines.append(
+                f"phase {phase}: {a:.4f}s -> {b:.4f}s  [{verdict.upper()}]"
+            )
+        lines.append(f"verdict: {self.verdict}")
+        return "\n".join(lines)
+
+
+def diff_manifests(
+    a: RunManifest,
+    b: RunManifest,
+    budget: float = 2.0,
+    counters_only: bool = False,
+) -> DiffResult:
+    """Compare manifest ``b`` against baseline ``a``.
+
+    Parameters
+    ----------
+    a:
+        Baseline manifest.
+    b:
+        Candidate manifest.
+    budget:
+        Multiplicative noise budget for phase timings: a phase regresses
+        when ``b > a * budget`` and improves when ``b < a / budget``.
+    counters_only:
+        Skip the timer comparison entirely (the CI determinism check:
+        serial vs parallel runs share counters but not wall-clock).
+
+    Returns
+    -------
+    DiffResult
+    """
+    if budget <= 1.0:
+        raise ValueError(f"budget must be > 1.0; got {budget}.")
+    result = DiffResult()
+    for name in sorted(set(a.counters) | set(b.counters)):
+        va, vb = a.counters.get(name), b.counters.get(name)
+        if va != vb:
+            result.counter_diffs.append((name, va, vb))
+
+    regressed = bool(result.counter_diffs)
+    improved = False
+    if not counters_only:
+        for phase in sorted(set(a.timers) | set(b.timers)):
+            ta = float(a.timers.get(phase, 0.0))
+            tb = float(b.timers.get(phase, 0.0))
+            if max(ta, tb) < _MIN_PHASE_SECONDS:
+                verdict = "unchanged"
+            elif ta == 0.0:
+                verdict = "regressed"  # phase appeared in the candidate
+            elif tb > ta * budget:
+                verdict = "regressed"
+            elif tb < ta / budget:
+                verdict = "improved"
+            else:
+                verdict = "unchanged"
+            result.phase_verdicts.append((phase, ta, tb, verdict))
+            regressed = regressed or verdict == "regressed"
+            improved = improved or verdict == "improved"
+
+    if regressed:
+        result.verdict = "regressed"
+    elif improved:
+        result.verdict = "improved"
+    return result
+
+
+def span_coverage(manifest: RunManifest) -> dict[str, float]:
+    """Fraction of each parent span's time attributed to named children.
+
+    Walks the span tree; for every span that has children and ran for a
+    non-trivial time, reports ``sum(child elapsed) / parent elapsed``
+    (clamped to 1.0 — timer granularity can push the sum slightly
+    over). Leaf spans are by definition fully attributed and are not
+    reported.
+
+    Parameters
+    ----------
+    manifest:
+        The manifest whose ``spans`` to analyse.
+
+    Returns
+    -------
+    dict
+        ``{span_name: coverage}`` with the *minimum* coverage kept when
+        a name recurs (the weakest link is what matters).
+    """
+    coverage: dict[str, float] = {}
+    stack = list(manifest.spans)
+    while stack:
+        span = stack.pop()
+        children = span.get("children", [])
+        stack.extend(children)
+        elapsed = float(span.get("elapsed_s", 0.0))
+        if not children or elapsed < _MIN_PHASE_SECONDS:
+            continue
+        covered = sum(float(c.get("elapsed_s", 0.0)) for c in children)
+        fraction = min(1.0, covered / elapsed)
+        name = span["name"]
+        coverage[name] = min(coverage.get(name, 1.0), fraction)
+    return coverage

@@ -15,8 +15,12 @@ Two contracts make parallelism invisible to the rest of the system:
   :class:`repro.obs.Recorder`; its counter deltas (``kernel_evals``,
   ``distance_evals``, ...) are merged back into the caller's ambient
   recorder after the fan-in, inside whatever phase span is currently
-  open. Manifests therefore report the same counters no matter how
-  many workers ran, and worker counts are never lost to the
+  open. When the caller is actively tracing, each task's span tree
+  (wrapped in a ``worker_task`` span tagged with its worker slot and
+  chunk index) and its histograms ship back too, adopted in submission
+  order — so the merged trace, like the counters, is deterministic for
+  any worker count. Manifests therefore report the same counters no
+  matter how many workers ran, and worker counts are never lost to the
   thread-local context.
 
 Tasks additionally run under ``use_n_jobs(1)``, so an estimator that
@@ -45,13 +49,38 @@ _R = TypeVar("_R")
 
 
 def _run_task(
-    func: Callable[[_T], _R], policy: RowQuarantine, item: _T
+    func: Callable[[_T], _R],
+    policy: RowQuarantine,
+    collect: bool,
+    n_workers: int,
+    indexed_item: tuple[int, _T],
 ) -> tuple[_R, dict]:
-    """Run one task under a fresh recorder; return (result, counters)."""
+    """Run one task under a fresh recorder; return (result, telemetry).
+
+    The telemetry dict always carries the worker recorder's counters;
+    when the caller is tracing (``collect``), it additionally carries
+    the task's span tree — wrapped in a ``worker_task`` span whose
+    ``worker`` attribute is the task's deterministic worker slot
+    (``index % n_workers``) — and its serialised histograms.
+    """
+    index, item = indexed_item
     recorder = Recorder()
     with use_n_jobs(1), use_recorder(recorder), use_fault_policy(policy):
-        result = func(item)
-    return result, recorder.counters
+        if collect:
+            with recorder.phase(
+                "worker_task", worker=index % max(1, n_workers), chunk=index
+            ):
+                result = func(item)
+        else:
+            result = func(item)
+    state: dict = {"counters": recorder.counters}
+    if collect:
+        state["spans"] = [span.to_dict() for span in recorder.spans]
+        state["histograms"] = {
+            name: hist.to_dict()
+            for name, hist in recorder.histograms.items()
+        }
+    return result, state
 
 
 def parallel_map_chunks(
@@ -87,14 +116,25 @@ def parallel_map_chunks(
         backend, with every worker's recorder counters merged into the
         caller's ambient recorder.
     """
-    pairs = get_backend(n_jobs, backend).map(
-        partial(_run_task, func, get_fault_policy()), list(chunks)
+    ambient = get_recorder()
+    engine = get_backend(n_jobs, backend)
+    pairs = engine.map(
+        partial(
+            _run_task, func, get_fault_policy(), ambient.enabled, engine.n_jobs
+        ),
+        list(enumerate(chunks)),
     )
     merged: dict[str, float] = {}
-    for _, counters in pairs:
-        for name, value in counters.items():
+    for _, state in pairs:
+        for name, value in state["counters"].items():
             merged[name] = merged.get(name, 0) + value
-    ambient = get_recorder()
     for name in sorted(merged):
         ambient.count(name, merged[name])
+    # Adopt spans and fold histograms in submission order, so the merged
+    # trace is identical for any worker count and backend.
+    for _, state in pairs:
+        if "spans" in state:
+            ambient.adopt_spans(state["spans"])
+        if "histograms" in state:
+            ambient.merge_histograms(state["histograms"])
     return [result for result, _ in pairs]

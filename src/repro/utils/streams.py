@@ -86,12 +86,18 @@ class DataStream:
         """Apply the fault policy chunk-wise (quarantine/repair semantics
         match what a chunked pass over the same data would produce)."""
         parts = []
-        for start in range(0, arr.shape[0], self.chunk_size):
-            chunk = arr[start : start + self.chunk_size]
-            parts.append(
-                policy.apply(chunk, origin="data", start=start)
+        with get_recorder().phase("validate") as span:
+            for start in range(0, arr.shape[0], self.chunk_size):
+                chunk = arr[start : start + self.chunk_size]
+                parts.append(
+                    policy.apply(chunk, origin="data", start=start)
+                )
+            clean = np.vstack(parts) if parts else arr
+            span.set(
+                rows_in=int(arr.shape[0]),
+                rows_out=int(clean.shape[0]),
+                policy=policy.mode,
             )
-        clean = np.vstack(parts) if parts else arr
         if clean.shape[0] == 0:
             raise DataValidationError(
                 "every row was quarantined; the dataset holds no valid "
@@ -106,6 +112,7 @@ class DataStream:
         for start in range(0, self.n_points, self.chunk_size):
             chunk = self._data[start : start + self.chunk_size]
             recorder.count("points_seen", chunk.shape[0])
+            recorder.observe("stream_chunk_rows", chunk.shape[0])
             yield chunk
 
     def __len__(self) -> int:
@@ -119,6 +126,7 @@ class DataStream:
         for start in range(0, self.n_points, self.chunk_size):
             chunk = self._data[start : start + self.chunk_size]
             recorder.count("points_seen", chunk.shape[0])
+            recorder.observe("stream_chunk_rows", chunk.shape[0])
             yield start, chunk
 
     def materialize(self) -> np.ndarray:

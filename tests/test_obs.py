@@ -2,6 +2,7 @@
 
 import json
 import threading
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -11,9 +12,13 @@ from hypothesis import strategies as st
 from repro import ApproximateClusteringPipeline
 from repro.core import DensityBiasedSampler
 from repro.obs import (
+    HISTOGRAM_SCHEMA,
     NULL_RECORDER,
+    SCHEMA_VERSION,
+    Histogram,
     Recorder,
     RunManifest,
+    Span,
     Stopwatch,
     collect_environment,
     format_spans,
@@ -99,7 +104,7 @@ class TestRecorder:
         with rec.phase("p"):
             rec.count("n", 2)
         snap = rec.snapshot()
-        assert set(snap) == {"counters", "timers", "spans"}
+        assert set(snap) == {"counters", "histograms", "timers", "spans"}
         assert snap["spans"][0]["name"] == "p"
         assert snap["spans"][0]["counters"] == {"n": 2}
 
@@ -139,10 +144,13 @@ class TestNullRecorder:
         NULL_RECORDER.count("kernel_evals", 10)
         with NULL_RECORDER.phase("fit"):
             NULL_RECORDER.count("data_passes")
+        NULL_RECORDER.observe("kde_eval_chunk_seconds", 1.0)
         assert NULL_RECORDER.counters == {}
         assert NULL_RECORDER.spans == []
+        assert NULL_RECORDER.histograms == {}
         assert NULL_RECORDER.snapshot() == {
             "counters": {},
+            "histograms": {},
             "timers": {},
             "spans": [],
         }
@@ -303,6 +311,180 @@ class TestRunManifest:
         RunManifest(name="x").emit()
         err = capsys.readouterr().err
         assert json.loads(err)["name"] == "x"
+
+    def test_v2_round_trip_with_histograms(self):
+        rec = Recorder()
+        with rec.phase("run") as span:
+            span.set(rows=10)
+            rec.observe("kde_eval_chunk_seconds", 0.02)
+            rec.observe("kde_eval_chunk_seconds", 0.2)
+        manifest = RunManifest.from_recorder(rec, name="x", seed=1)
+        assert manifest.schema_version == SCHEMA_VERSION
+        hist = manifest.histograms["kde_eval_chunk_seconds"]
+        assert hist["count"] == 2
+        assert hist["p50"] > 0.0
+        back = RunManifest.from_json(manifest.to_json())
+        assert back == manifest
+        assert back.spans[0]["attrs"]["rows"] == 10
+
+    def test_v1_fixture_still_loads(self):
+        """Manifests written before schema_version must keep loading."""
+        fixture = Path(__file__).parent / "data" / "manifest_v1.json"
+        manifest = RunManifest.from_json(fixture.read_text())
+        assert manifest.schema_version == 1
+        assert manifest.name == "fig4"
+        assert manifest.counters["data_passes"] == 4
+        assert manifest.histograms == {}
+        assert manifest.profile == []
+        assert manifest.spans[0]["children"][0]["name"] == "fit_density"
+
+
+# ---------------------------------------------------------------------------
+# Histograms
+# ---------------------------------------------------------------------------
+
+
+class TestHistogram:
+    def test_observe_buckets_and_totals(self):
+        h = Histogram("latency_s", (0.1, 1.0))
+        for v in (0.05, 0.2, 0.3, 5.0):
+            h.observe(v)
+        assert h.counts == [1, 2, 1]
+        assert h.count == 4
+        assert h.sum == pytest.approx(5.55)
+
+    def test_merge_folds_counts(self):
+        a = Histogram("x", (1.0, 2.0))
+        b = Histogram("x", (1.0, 2.0))
+        a.observe(0.5)
+        b.observe(1.5)
+        b.observe(9.0)
+        a.merge(b)
+        assert a.counts == [1, 1, 1]
+        assert a.count == 3
+        a.merge(b.to_dict())  # dict form (the cross-worker shape)
+        assert a.count == 5
+
+    def test_merge_rejects_mismatched_bounds(self):
+        a = Histogram("x", (1.0, 2.0))
+        with pytest.raises(ValueError, match="bucket bounds"):
+            a.merge(Histogram("x", (1.0, 3.0)))
+
+    def test_quantiles(self):
+        h = Histogram("x", (1.0, 2.0, 4.0))
+        assert h.quantile(0.5) == 0.0  # empty
+        for v in (0.5, 1.5, 3.0, 100.0):
+            h.observe(v)
+        assert 0.0 < h.quantile(0.25) <= 1.0
+        assert h.quantile(0.99) == 4.0  # overflow clamps to last bound
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+    def test_recorder_uses_schema_bounds(self):
+        rec = Recorder()
+        rec.observe("kde_eval_chunk_seconds", 0.01)
+        hist = rec.histograms["kde_eval_chunk_seconds"]
+        assert hist.bounds == HISTOGRAM_SCHEMA[
+            "kde_eval_chunk_seconds"
+        ].buckets
+
+    def test_recorder_merge_histograms(self):
+        rec = Recorder()
+        rec.observe("stream_chunk_rows", 100)
+        worker = Recorder()
+        worker.observe("stream_chunk_rows", 200)
+        rec.merge_histograms(
+            {n: h.to_dict() for n, h in worker.histograms.items()}
+        )
+        assert rec.histograms["stream_chunk_rows"].count == 2
+
+
+# ---------------------------------------------------------------------------
+# Span attributes and serialisation
+# ---------------------------------------------------------------------------
+
+
+class TestSpanAttrs:
+    def test_phase_yields_span_with_attrs(self):
+        rec = Recorder()
+        with rec.phase("chunk", worker=3) as span:
+            assert span.set(rows=500) is span  # chainable
+        done = rec.spans[0]
+        assert done.attrs == {"worker": 3, "rows": 500}
+        assert done.start >= 0.0
+        assert done.children == []
+
+    def test_span_dict_round_trip_keeps_parent_links(self):
+        rec = Recorder()
+        with rec.phase("outer"):
+            with rec.phase("inner") as span:
+                span.set(chunk=1)
+        data = rec.spans[0].to_dict()
+        back = Span.from_dict(data)
+        assert back.children[0].parent is back
+        assert back.children[0].attrs == {"chunk": 1}
+        assert back.to_dict() == data
+
+    def test_null_recorder_span_is_inert(self):
+        with NULL_RECORDER.phase("x", worker=1) as span:
+            assert span.set(rows=5) is span
+            assert span.elapsed == 0.0
+
+    def test_adopted_spans_attach_under_open_phase(self):
+        rec = Recorder()
+        shipped = [{"name": "worker_task", "elapsed_s": 0.1,
+                    "attrs": {"worker": 0}}]
+        with rec.phase("scan"):
+            rec.adopt_spans(shipped)
+        scan = rec.spans[0]
+        assert [c.name for c in scan.children] == ["worker_task"]
+        assert scan.children[0].parent is scan
+
+    def test_profile_attaches_per_function_table(self):
+        rec = Recorder(profile=True)
+        with rec.phase("work"):
+            sum(i * i for i in range(20_000))
+        table = rec.spans[0].attrs["profile"]
+        assert isinstance(table, list) and table
+        assert {"function", "calls", "self_s", "cum_s"} <= set(table[0])
+
+
+class TestParallelTelemetry:
+    def test_counters_and_results_identical_across_n_jobs(self, blobs):
+        from repro.parallel import use_n_jobs
+
+        def run(n_jobs):
+            with recording() as rec, use_n_jobs(n_jobs):
+                sample = DensityBiasedSampler(
+                    sample_size=100, exponent=0.5, random_state=7
+                ).sample(blobs)
+            return dict(rec.counters), sample.indices.tolist()
+
+        serial = run(1)
+        assert run(2) == serial
+        assert run(4) == serial
+
+    def test_worker_spans_adopted_with_worker_attrs(self, blobs):
+        from repro.parallel import use_n_jobs
+
+        with recording() as rec, use_n_jobs(2):
+            DensityBiasedSampler(
+                sample_size=100, exponent=0.5, random_state=7
+            ).sample(blobs)
+
+        tasks = []
+
+        def walk(span):
+            if span.name == "worker_task":
+                tasks.append(span)
+            for child in span.children:
+                walk(child)
+
+        for root in rec.spans:
+            walk(root)
+        assert tasks, "parallel run shipped no worker spans"
+        assert all("worker" in t.attrs and "chunk" in t.attrs
+                   for t in tasks)
 
 
 # ---------------------------------------------------------------------------

@@ -449,6 +449,84 @@ class TestRA004:
 
 
 # ---------------------------------------------------------------------------
+# RA008 — histogram-schema audit
+# ---------------------------------------------------------------------------
+
+
+class TestRA008:
+    def test_unregistered_observation_flagged(self, tmp_path):
+        found = audit_snippet(
+            tmp_path,
+            """
+            HISTOGRAM_SCHEMA = {"chunk_seconds": None}
+
+            def f(rec):
+                rec.observe("chunk_seconds", 0.1)
+                rec.observe("mystery_histogram", 0.1)
+            """,
+            select=["RA008"],
+        )
+        assert codes(found) == ["RA008"]
+        assert "mystery_histogram" in found[0].message
+        assert found[0].anchor == "mystery_histogram"
+        assert found[0].trace  # names the observing function
+
+    def test_dead_registry_entry_flagged(self, tmp_path):
+        found = audit_snippet(
+            tmp_path,
+            """
+            HISTOGRAM_SCHEMA = {"chunk_seconds": None, "never_observed": None}
+
+            def f(rec):
+                rec.observe("chunk_seconds", 0.1)
+            """,
+            select=["RA008"],
+        )
+        assert codes(found) == ["RA008"]
+        assert "never_observed" in found[0].message
+
+    def test_missing_registry_flagged_once(self, tmp_path):
+        found = audit_snippet(
+            tmp_path,
+            """
+            def f(rec):
+                rec.observe("chunk_seconds", 0.1)
+                rec.observe("chunk_rows", 4)
+            """,
+            select=["RA008"],
+        )
+        assert codes(found) == ["RA008"]
+        assert "no HISTOGRAM_SCHEMA" in found[0].message
+
+    def test_registered_observation_clean(self, tmp_path):
+        found = audit_snippet(
+            tmp_path,
+            """
+            HISTOGRAM_SCHEMA = {"chunk_seconds": None}
+
+            def f(rec):
+                rec.observe("chunk_seconds", 0.1)
+            """,
+            select=["RA008"],
+        )
+        assert found == []
+
+    def test_suppression_comment_honoured(self, tmp_path):
+        found = audit_snippet(
+            tmp_path,
+            """
+            # repro-audit: disable=RA008
+            HISTOGRAM_SCHEMA = {"chunk_seconds": None}
+
+            def f(rec):
+                rec.observe("off_the_books", 0.1)
+            """,
+            select=["RA008"],
+        )
+        assert found == []
+
+
+# ---------------------------------------------------------------------------
 # RA005 — space-complexity audit
 # ---------------------------------------------------------------------------
 
@@ -1057,6 +1135,7 @@ class TestReporters:
             "RA005",
             "RA006",
             "RA007",
+            "RA008",
         }
         result = run["results"][0]
         assert result["ruleId"] == "RA001"
@@ -1193,12 +1272,15 @@ class TestSrcRepro:
         assert bounds["estimate_normalizer"] <= M
 
     def test_one_pass_sampler_never_materialises_the_stream(self, src_graph):
-        # Even the draw scan stays at one bounded window of chunks.
+        # Even the draw scan stays at one bounded window of chunks (the
+        # draw_window sub-phase carries the estimator's O(m) state into
+        # its parallel workers).
         bounds = entry_space_bounds(src_graph, "OnePassBiasedSampler")
         assert {k: v for k, v in bounds.items() if v > CONST} == {
             "fit_density": M,
             "estimate_normalizer": M,
             "draw": CHUNK,
+            "draw_window": M,
         }
         assert max(bounds.values()) < N
 

@@ -185,6 +185,7 @@ def _load_rules() -> None:
     from tools.repro_audit import (  # noqa: F401
         rules_counters,
         rules_exceptions,
+        rules_histograms,
         rules_merge,
         rules_parallel,
         rules_passes,

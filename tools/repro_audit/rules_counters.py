@@ -48,8 +48,15 @@ class _Increment:
     qualname: str
 
 
-def _schema_entries(info: ModuleInfo) -> dict[str, ast.expr] | None:
-    """``COUNTER_SCHEMA`` keys of a module, if it defines the registry."""
+def _schema_entries(
+    info: ModuleInfo, binding: str = SCHEMA_BINDING
+) -> dict[str, ast.expr] | None:
+    """Registry keys of a module, if it defines the ``binding`` dict.
+
+    Shared by RA004 (``COUNTER_SCHEMA``) and RA008
+    (``HISTOGRAM_SCHEMA``): both registries are audited statically, so
+    their keys must be string literals.
+    """
     for stmt in info.tree.body:
         if isinstance(stmt, ast.Assign):
             targets = stmt.targets
@@ -58,7 +65,7 @@ def _schema_entries(info: ModuleInfo) -> dict[str, ast.expr] | None:
         else:
             continue
         if not any(
-            isinstance(t, ast.Name) and t.id == SCHEMA_BINDING
+            isinstance(t, ast.Name) and t.id == binding
             for t in targets
         ):
             continue
@@ -72,7 +79,10 @@ def _schema_entries(info: ModuleInfo) -> dict[str, ast.expr] | None:
     return None
 
 
-def _iter_increments(info: ModuleInfo) -> Iterator[_Increment]:
+def _iter_increments(
+    info: ModuleInfo, attr: str = "count"
+) -> Iterator[_Increment]:
+    """Literal-name ``.count(...)`` (or ``.observe(...)``) write sites."""
     stack: list[str] = [info.module]
 
     def visit(node: ast.AST) -> Iterator[_Increment]:
@@ -80,7 +90,7 @@ def _iter_increments(info: ModuleInfo) -> Iterator[_Increment]:
         if scoped:
             stack.append(node.name)
         if isinstance(node, ast.Call):
-            found = _as_increment(node)
+            found = _as_increment(node, attr)
             if found is not None:
                 yield _Increment(
                     info=info,
@@ -96,9 +106,9 @@ def _iter_increments(info: ModuleInfo) -> Iterator[_Increment]:
     yield from visit(info.tree)
 
 
-def _as_increment(call: ast.Call) -> str | None:
+def _as_increment(call: ast.Call, attr: str = "count") -> str | None:
     func = call.func
-    if not (isinstance(func, ast.Attribute) and func.attr == "count"):
+    if not (isinstance(func, ast.Attribute) and func.attr == attr):
         return None
     # ``"abc".count("a")`` and ``[..].count(x)`` are not counter writes.
     if isinstance(func.value, (ast.Constant, ast.List, ast.Tuple, ast.Dict, ast.Set)):

@@ -1,0 +1,99 @@
+"""RA008 — histogram-schema audit.
+
+Sibling of RA004: manifests carry latency/throughput histograms, and
+those are only comparable across runs if the set of histogram names —
+and their bucket boundaries — is a closed vocabulary.
+``src/repro/obs/schema.py`` holds it as the ``HISTOGRAM_SCHEMA``
+registry. This rule keeps observation sites and registry in lock-step:
+
+* **forward** — every literal histogram name observed in the audited
+  tree (``recorder.observe("name", value)`` /
+  ``get_recorder().observe(...)``) must be a key of
+  ``HISTOGRAM_SCHEMA`` — an unregistered observation would fall back
+  to the generic default buckets and silently lose resolution;
+* **reverse** — every registered histogram must be observed somewhere
+  in the audited tree (a dead registry entry means dead docs or a
+  silently dropped measurement).
+
+Only literal-string first arguments are audited; the worker-merge path
+in ``repro.parallel`` folds already-bucketed histogram dicts and never
+re-observes by name, so it is invisible here by design. The literal
+matcher is shared with RA004 (see
+:mod:`tools.repro_audit.rules_counters`).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from tools.astkit import ModuleInfo
+from tools.repro_audit.core import AuditRule, Finding, register
+from tools.repro_audit.graph import CallGraph
+from tools.repro_audit.rules_counters import (
+    _Increment,
+    _iter_increments,
+    _schema_entries,
+)
+
+__all__ = ["HistogramSchemaAudit"]
+
+#: Name of the registry binding a schema module must define.
+SCHEMA_BINDING = "HISTOGRAM_SCHEMA"
+
+
+@register
+class HistogramSchemaAudit(AuditRule):
+    code = "RA008"
+    summary = (
+        "every observed histogram name is registered in HISTOGRAM_SCHEMA "
+        "and every registered histogram is observed somewhere"
+    )
+
+    def check(self, graph: CallGraph) -> Iterator[Finding]:
+        schema: dict[str, ast.expr] = {}
+        schema_info: ModuleInfo | None = None
+        observations: list[_Increment] = []
+        for info in graph.project.modules:
+            entries = _schema_entries(info, binding=SCHEMA_BINDING)
+            if entries is not None and schema_info is None:
+                schema, schema_info = entries, info
+            observations.extend(_iter_increments(info, attr="observe"))
+
+        if not observations:
+            return
+        if schema_info is None:
+            first = observations[0]
+            yield self.finding(
+                first.info,
+                first.node,
+                f"histogram {first.name!r} is observed but the audited "
+                f"tree defines no {SCHEMA_BINDING} registry "
+                "(src/repro/obs/schema.py)",
+                anchor="missing-schema",
+            )
+            return
+
+        observed: set[str] = set()
+        for obs in observations:
+            observed.add(obs.name)
+            if obs.name not in schema:
+                yield self.finding(
+                    obs.info,
+                    obs.node,
+                    f"histogram {obs.name!r} is observed but not "
+                    f"registered in {SCHEMA_BINDING}",
+                    anchor=obs.name,
+                    trace=(
+                        f"{obs.qualname} "
+                        f"({obs.info.display_path}:{obs.node.lineno})",
+                    ),
+                )
+        for name in sorted(set(schema) - observed):
+            yield self.finding(
+                schema_info,
+                schema[name],
+                f"histogram {name!r} is registered in {SCHEMA_BINDING} "
+                "but never observed in the audited tree",
+                anchor=name,
+            )
