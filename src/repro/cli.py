@@ -94,6 +94,16 @@ def build_parser() -> argparse.ArgumentParser:
         "Results are byte-identical for any value.",
     )
     run.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="S",
+        help="split each fit/eval/gather pass into S row-range shards "
+        "fanned out through the parallel backend (default: the "
+        "REPRO_SHARDS environment variable, else unsharded). Results "
+        "are byte-identical for any value.",
+    )
+    run.add_argument(
         "--fault-policy",
         choices=("strict", "quarantine", "repair"),
         default=None,
@@ -170,6 +180,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="compare deterministic counters only (exit 1 on any "
         "difference), ignoring wall-clock",
     )
+    diff.add_argument(
+        "--ignore",
+        action="append",
+        default=[],
+        metavar="PATTERN",
+        help="exclude counters matching this fnmatch pattern from the "
+        "comparison (repeatable); e.g. --ignore 'shard*' when diffing "
+        "a sharded run against a serial baseline",
+    )
 
     coverage = trace_sub.add_parser(
         "coverage", help="span-tree attribution report for a manifest"
@@ -220,6 +239,7 @@ def main(argv=None) -> int:
                                     plot=args.plot,
                                     metrics_out=args.metrics_out,
                                     n_jobs=args.n_jobs,
+                                    shards=args.shards,
                                     fault_policy=args.fault_policy,
                                     profile=args.profile,
                                     memory=args.memory)
@@ -305,6 +325,7 @@ def _trace_main(args) -> int:
                 candidate,
                 budget=args.budget,
                 counters_only=args.counters_only,
+                ignore=tuple(args.ignore),
             )
         except ValueError as exc:
             print(f"error: {exc}", file=sys.stderr)

@@ -33,6 +33,12 @@ from repro.density.kde import KernelDensityEstimator
 from repro.exceptions import DataValidationError, ParameterError
 from repro.obs import get_recorder
 from repro.parallel import parallel_map_chunks
+from repro.sharding import (
+    ShardPlan,
+    eval_shards,
+    resolve_shards,
+    sharded_gather,
+)
 from repro.utils.streams import DataStream, as_stream
 from repro.utils.validation import (
     RandomStateLike,
@@ -247,25 +253,54 @@ class DensityBiasedSampler:
 
         Chunks fan out to the parallel backend; evaluation is
         deterministic per chunk and the merge preserves stream order,
-        so the result is byte-identical for any ``n_jobs``.
+        so the result is byte-identical for any ``n_jobs``. With an
+        ambient shard count above one the same pass runs as a shard
+        fan-out instead — also byte-identical (DESIGN.md §13).
         """
-        densities = np.empty(len(source))
-        offsets_chunks = list(source.iter_with_offsets())
-        covered = sum(chunk.shape[0] for _, chunk in offsets_chunks)
-        if covered != len(source):
+        n_shards = resolve_shards(None)
+        if n_shards > 1 and hasattr(source, "chunk_sizes"):
+            return self._densities_sharded(source, estimator, n_shards)
+        else:
+            densities = np.empty(len(source))
+            offsets_chunks = list(source.iter_with_offsets())
+            covered = sum(chunk.shape[0] for _, chunk in offsets_chunks)
+            if covered != len(source):
+                raise DataValidationError(
+                    f"stream yielded {covered} rows in the density pass but "
+                    f"advertises n_points={len(source)}; offset-keyed "
+                    "buffers would be misaligned (a hardened stream must "
+                    "deliver its exact surviving-row count every pass)."
+                )
+            values = parallel_map_chunks(
+                estimator.evaluate,
+                [chunk for _, chunk in offsets_chunks],
+                n_jobs=self.n_jobs,
+            )
+            for (start, chunk), chunk_values in zip(offsets_chunks, values):
+                densities[start : start + chunk.shape[0]] = chunk_values
+            return densities
+
+    def _densities_sharded(
+        self, source: DataStream, estimator: DensityEstimator, n_shards: int
+    ) -> np.ndarray:
+        """Pass 2 as a shard fan-out, byte-identical to the serial pass.
+
+        Each shard evaluates its own chunk range; the folded slices
+        fill the same preallocated per-point array the serial pass
+        fills, so the normaliser and every probability derived from it
+        are exact.
+        """
+        plan = ShardPlan(source, n_shards)
+        shard = eval_shards(plan, estimator.evaluate, n_jobs=self.n_jobs)
+        if shard.row_start != 0 or shard.seen != len(source):
             raise DataValidationError(
-                f"stream yielded {covered} rows in the density pass but "
+                f"stream yielded {shard.seen} rows in the density pass but "
                 f"advertises n_points={len(source)}; offset-keyed buffers "
                 "would be misaligned (a hardened stream must deliver its "
                 "exact surviving-row count every pass)."
             )
-        values = parallel_map_chunks(
-            estimator.evaluate,
-            [chunk for _, chunk in offsets_chunks],
-            n_jobs=self.n_jobs,
-        )
-        for (start, chunk), chunk_values in zip(offsets_chunks, values):
-            densities[start : start + chunk.shape[0]] = chunk_values
+        densities = np.empty(len(source))
+        shard.fill(densities)
         return densities
 
     def compute_probabilities(self, densities: np.ndarray) -> np.ndarray:
@@ -349,19 +384,22 @@ class DensityBiasedSampler:
     @staticmethod
     def _gather(source: DataStream, mask: np.ndarray) -> np.ndarray:
         """Collect the masked rows in one sequential pass."""
-        parts = []
-        seen = 0
-        for start, chunk in source.iter_with_offsets():
-            local = mask[start : start + chunk.shape[0]]
-            seen += chunk.shape[0]
-            if local.any():
-                parts.append(chunk[local])
-        if seen != mask.shape[0]:
-            raise DataValidationError(
-                f"stream yielded {seen} rows in the gather pass but the "
-                f"selection mask covers {mask.shape[0]}; passes disagree "
-                "on the surviving-row count."
-            )
-        if not parts:
-            return np.empty((0, source.n_dims))
-        return np.vstack(parts)
+        if resolve_shards(None) > 1 and hasattr(source, "chunk_sizes"):
+            return sharded_gather(source, mask)
+        else:
+            parts = []
+            seen = 0
+            for start, chunk in source.iter_with_offsets():
+                local = mask[start : start + chunk.shape[0]]
+                seen += chunk.shape[0]
+                if local.any():
+                    parts.append(chunk[local])
+            if seen != mask.shape[0]:
+                raise DataValidationError(
+                    f"stream yielded {seen} rows in the gather pass but the "
+                    f"selection mask covers {mask.shape[0]}; passes disagree "
+                    "on the surviving-row count."
+                )
+            if not parts:
+                return np.empty((0, source.n_dims))
+            return np.vstack(parts)

@@ -14,6 +14,7 @@ from numpy.typing import ArrayLike
 from repro.core.biased import BiasedSample
 from repro.exceptions import DataValidationError, ParameterError
 from repro.obs import get_recorder
+from repro.sharding import resolve_shards, sharded_gather
 from repro.utils.streams import DataStream, as_stream
 from repro.utils.validation import RandomStateLike, check_random_state
 
@@ -78,23 +79,28 @@ class UniformSampler:
             indices = np.nonzero(rng.random(n) < prob)[0]
         mask = np.zeros(n, dtype=bool)
         mask[indices] = True
-        parts = []
-        seen = 0
         with recorder.phase("draw"):
-            for start, chunk in source.iter_with_offsets():
-                local = mask[start : start + chunk.shape[0]]
-                seen += chunk.shape[0]
-                if local.any():
-                    parts.append(chunk[local])
-        if seen != n:
-            raise DataValidationError(
-                f"stream yielded {seen} rows in the draw pass but "
-                f"advertises n_points={n}; the selection mask would be "
-                "misaligned with the surviving rows."
-            )
-        points = (
-            np.vstack(parts) if parts else np.empty((0, source.n_dims))
-        )
+            if resolve_shards(None) > 1 and hasattr(source, "chunk_sizes"):
+                points = sharded_gather(source, mask)
+            else:
+                parts = []
+                seen = 0
+                for start, chunk in source.iter_with_offsets():
+                    local = mask[start : start + chunk.shape[0]]
+                    seen += chunk.shape[0]
+                    if local.any():
+                        parts.append(chunk[local])
+                if seen != n:
+                    raise DataValidationError(
+                        f"stream yielded {seen} rows in the draw pass but "
+                        f"advertises n_points={n}; the selection mask would "
+                        "be misaligned with the surviving rows."
+                    )
+                points = (
+                    np.vstack(parts)
+                    if parts
+                    else np.empty((0, source.n_dims))
+                )
         recorder.count("sample_size", indices.shape[0])
         return BiasedSample(
             points=points,

@@ -27,10 +27,21 @@ def inverse_probability_weights(probabilities: ArrayLike) -> np.ndarray:
     [2.0, 4.0]
     """
     probs = np.asarray(probabilities, dtype=np.float64)
-    if probs.size and (probs <= 0).any():
-        raise ParameterError("inclusion probabilities must be > 0.")
-    if probs.size and (probs > 1).any():
-        raise ParameterError("inclusion probabilities must be <= 1.")
+    if probs.size == 0:
+        raise ParameterError(
+            "inverse_probability_weights: probabilities is empty; "
+            "an empty sample has no Horvitz-Thompson weights."
+        )
+    if (probs <= 0).any():
+        raise ParameterError(
+            "inverse_probability_weights: inclusion probabilities must "
+            "be > 0 (a zero probability has an infinite weight)."
+        )
+    if (probs > 1).any():
+        raise ParameterError(
+            "inverse_probability_weights: inclusion probabilities must "
+            "be <= 1."
+        )
     return 1.0 / probs
 
 
@@ -44,13 +55,21 @@ def effective_sample_size(weights: ArrayLike) -> float:
     """
     w = np.asarray(weights, dtype=np.float64)
     if w.size == 0:
-        return 0.0
+        raise ParameterError(
+            "effective_sample_size: weights is empty; the Kish ratio "
+            "0/0 is undefined for an empty sample."
+        )
     if (w < 0).any():
-        raise ParameterError("weights must be non-negative.")
+        raise ParameterError(
+            "effective_sample_size: weights must be non-negative."
+        )
     total_sq = w.sum() ** 2
     sq_total = (w**2).sum()
     if sq_total == 0:
-        return 0.0
+        raise ParameterError(
+            "effective_sample_size: all weights are zero; the Kish "
+            "ratio 0/0 is undefined."
+        )
     return float(total_sq / sq_total)
 
 

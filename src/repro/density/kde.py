@@ -24,10 +24,25 @@ from repro.density.reservoir import ReservoirSampler
 from repro.exceptions import ParameterError
 from repro.obs import get_recorder
 from repro.parallel import parallel_map_chunks
+from repro.sharding import ShardPlan, fit_shards, merge_partials, resolve_shards
 from repro.utils.streams import DataStream
 from repro.utils.validation import check_random_state
 
-__all__ = ["KernelDensityEstimator"]
+__all__ = ["KernelDensityEstimator", "chunk_moment_stats"]
+
+
+def chunk_moment_stats(chunk: np.ndarray) -> tuple[int, np.ndarray, np.ndarray]:
+    """One chunk's ``(count, mean, m2)`` moment statistics.
+
+    This is the per-chunk half of the Welford update, split out so
+    shard workers can compute it remotely: the fold half
+    (:meth:`_StreamingMoments.merge_stats`) is not FP-associative and
+    must run on the coordinator in global chunk order to stay
+    byte-identical to the serial pass.
+    """
+    mean_b = chunk.mean(axis=0)
+    m2_b = ((chunk - mean_b) ** 2).sum(axis=0)
+    return chunk.shape[0], mean_b, m2_b
 
 
 class _StreamingMoments:
@@ -39,18 +54,27 @@ class _StreamingMoments:
         self.m2: np.ndarray | None = None
 
     def update(self, chunk: np.ndarray) -> None:
-        n_b = chunk.shape[0]
-        if n_b == 0:
+        if chunk.shape[0] == 0:
             return
-        mean_b = chunk.mean(axis=0)
-        m2_b = ((chunk - mean_b) ** 2).sum(axis=0)
+        self.merge_stats(*chunk_moment_stats(chunk))
+
+    def merge_stats(self, count: int, mean: np.ndarray, m2: np.ndarray) -> None:
+        """Fold one chunk's ``(count, mean, m2)`` into the running state.
+
+        The exact operation sequence the serial ``update`` always
+        performed — sharded fits replay it with the same statistics in
+        the same (global chunk) order, so the fitted moments are
+        byte-identical.
+        """
+        if count == 0:
+            return
         if self.count == 0:
-            self.count, self.mean, self.m2 = n_b, mean_b, m2_b
+            self.count, self.mean, self.m2 = count, mean, m2
             return
-        delta = mean_b - self.mean
-        total = self.count + n_b
-        self.mean = self.mean + delta * (n_b / total)
-        self.m2 = self.m2 + m2_b + delta**2 * (self.count * n_b / total)
+        delta = mean - self.mean
+        total = self.count + count
+        self.mean = self.mean + delta * (count / total)
+        self.m2 = self.m2 + m2 + delta**2 * (self.count * count / total)
         self.count = total
 
     @property
@@ -126,18 +150,90 @@ class KernelDensityEstimator(DensityEstimator):
     # -- fitting ---------------------------------------------------------------
 
     def fit(self, data=None, *, stream: DataStream | None = None):
-        """Fit in a single pass: reservoir centers + streaming moments."""
+        """Fit in a single pass: reservoir centers + streaming moments.
+
+        When the ambient shard count (``repro run --shards`` /
+        ``REPRO_SHARDS`` / :func:`repro.sharding.use_shards`) is above
+        one, the single pass is executed as a sharded fan-out instead —
+        byte-identical to the serial scan (DESIGN.md §13).
+        """
         source = self._as_stream(data, stream)
+        n_shards = resolve_shards(None)
+        if (
+            n_shards > 1
+            and len(source) > 0
+            and hasattr(source, "chunk_sizes")
+        ):
+            return self._fit_sharded(source, n_shards)
+        else:
+            rng = check_random_state(self.random_state)
+            reservoir = ReservoirSampler(self.n_kernels, random_state=rng)
+            moments = _StreamingMoments()
+            for chunk in source:
+                reservoir.extend(chunk)
+                moments.update(chunk)
+            if moments.count == 0:
+                raise ParameterError(
+                    "cannot fit a density estimator on no data."
+                )
+            self.n_points_ = moments.count
+            self.centers_ = reservoir.sample
+            self.n_dims_ = self.centers_.shape[1]
+            self.bandwidths_ = resolve_bandwidth(
+                self.bandwidth,
+                moments.std,
+                self.n_points_,
+                self.n_dims_,
+                self.kernel,
+                scale=float(np.abs(moments.mean).max()),
+            )
+            return self
+
+    def _fit_sharded(self, source: DataStream, n_shards: int):
+        """The fit pass as a shard fan-out (byte-identical to serial).
+
+        The coordinator draws the data-free reservoir acceptance plan
+        (consuming the generator exactly as the serial pass would, so
+        downstream draws are unaffected), shard workers fetch the
+        planned rows and per-chunk moment statistics, and the folded
+        partials are assembled by :meth:`fit_from_partials`.
+        """
         rng = check_random_state(self.random_state)
         reservoir = ReservoirSampler(self.n_kernels, random_state=rng)
+        plan = ShardPlan(source, n_shards)
+        accept_plan = reservoir.plan(plan.n_rows)
+        state = fit_shards(
+            plan, accept_plan.wanted_indices(), n_jobs=self.n_jobs
+        )
+        get_recorder().count("reservoir_accepts", accept_plan.accepts)
+        return self.fit_from_partials([state], accept_plan)
+
+    def fit_from_partials(self, partials, plan):
+        """Assemble a fitted estimator from shard partial-fit states.
+
+        Parameters
+        ----------
+        partials:
+            ``ShardFitState`` partials in shard (stream) order — one
+            per shard, or a single already-folded state.
+        plan:
+            The :class:`~repro.density.reservoir.ReservoirPlan` the
+            shard row fetches were planned against.
+        """
+        state = merge_partials(list(partials))
         moments = _StreamingMoments()
-        for chunk in source:
-            reservoir.extend(chunk)
-            moments.update(chunk)
+        for count, mean, m2 in state.chunk_stats:
+            moments.merge_stats(count, mean, m2)
         if moments.count == 0:
             raise ParameterError("cannot fit a density estimator on no data.")
+        if moments.count != plan.n_rows:
+            raise ParameterError(
+                f"shard partials cover {moments.count} row(s) but the "
+                f"reservoir plan was drawn for {plan.n_rows}; the plan "
+                "must be drawn against the same stream the shards read."
+            )
         self.n_points_ = moments.count
-        self.centers_ = reservoir.sample
+        self.centers_ = plan.assemble(state.fetched_rows())
         self.n_dims_ = self.centers_.shape[1]
         self.bandwidths_ = resolve_bandwidth(
             self.bandwidth,

@@ -20,6 +20,7 @@ skip loop costs a few array reads per acceptance.
 from __future__ import annotations
 
 import math
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -28,6 +29,7 @@ from repro.utils.streams import DataStream, as_stream
 from repro.utils.validation import check_random_state
 
 __all__ = [
+    "ReservoirPlan",
     "ReservoirSampler",
     "reservoir_sample",
 ]
@@ -38,6 +40,73 @@ _TINY = 1e-300
 
 #: Uniform draws buffered per refill (batched RNG for the skip loop).
 _BUFFER_SIZE = 192
+
+
+@dataclass(frozen=True)
+class ReservoirPlan:
+    """Data-free acceptance plan for one reservoir pass over ``n_rows``.
+
+    Algorithm L's draw sequence depends only on the capacity, the row
+    count and the generator — never on row *values* or on how the rows
+    are chunked — so the whole pass can be planned up front: which
+    absolute row indices are accepted, and into which slot each one
+    goes. Shard workers then fetch exactly the planned rows with no
+    generator of their own, and :meth:`assemble` reproduces the
+    reservoir contents byte-identically to a serial pass (see
+    :mod:`repro.sharding`).
+
+    Attributes
+    ----------
+    capacity:
+        Reservoir capacity the plan was drawn for.
+    n_rows:
+        Stream length the plan covers.
+    fill:
+        Rows copied verbatim during the fill phase
+        (``min(capacity, n_rows)``).
+    events:
+        Post-fill acceptances in stream order:
+        ``(absolute row index, reservoir slot)`` pairs.
+    """
+
+    capacity: int
+    n_rows: int
+    fill: int
+    events: tuple[tuple[int, int], ...]
+
+    @property
+    def accepts(self) -> int:
+        """Total acceptances (fill copies plus replacement events)."""
+        return self.fill + len(self.events)
+
+    def wanted_indices(self) -> np.ndarray:
+        """Sorted absolute indices of every row the plan needs fetched."""
+        indices = list(range(self.fill))
+        indices.extend(index for index, _ in self.events)
+        return np.asarray(indices, dtype=np.int64)
+
+    def assemble(self, rows: dict) -> np.ndarray:
+        """Reservoir contents from ``{absolute index: row}`` fetches.
+
+        Applies the fill rows then replays the replacement events in
+        stream order — the exact writes :meth:`ReservoirSampler.extend`
+        would have performed.
+        """
+        missing = [int(i) for i in self.wanted_indices() if int(i) not in rows]
+        if missing:
+            raise ValueError(
+                f"reservoir plan is missing {len(missing)} fetched row(s) "
+                f"(first: index {missing[0]})."
+            )
+        if self.fill == 0:
+            return np.empty((0, 0))
+        n_dims = np.asarray(rows[0]).shape[0]
+        reservoir = np.empty((self.fill, n_dims))
+        for index in range(self.fill):
+            reservoir[index] = rows[index]
+        for index, slot in self.events:
+            reservoir[slot] = rows[index]
+        return reservoir
 
 
 class ReservoirSampler:
@@ -69,9 +138,17 @@ class ReservoirSampler:
         # Batched uniform draws for the skip loop.
         self._buffer = np.empty(0)
         self._buffer_pos = 0
+        # Set once plan() has consumed the sampler (see plan()).
+        self._planned = False
 
     def extend(self, chunk) -> None:
         """Offer a chunk of rows to the reservoir."""
+        if self._planned:
+            raise ValueError(
+                "this sampler was consumed by plan(); its generator "
+                "state already reflects a full pass, so it cannot be "
+                "fed rows."
+            )
         chunk = np.atleast_2d(np.asarray(chunk, dtype=np.float64))
         n_rows = chunk.shape[0]
         if n_rows == 0:
@@ -125,6 +202,128 @@ class ReservoirSampler:
         value = self._buffer[self._buffer_pos]
         self._buffer_pos += 1
         return float(value)
+
+    # -- sharding & merging --------------------------------------------------
+
+    def plan(self, n_rows: int) -> ReservoirPlan:
+        """Plan one pass over ``n_rows`` rows without seeing any data.
+
+        Consumes this sampler's generator exactly as :meth:`extend`
+        over the same rows would (the Algorithm L draw sequence is
+        data- and chunking-independent), so after planning the
+        generator state matches the post-fit serial state — the
+        property that keeps downstream draws byte-identical when a fit
+        is sharded. The sampler is consumed by planning: it must be
+        fresh, and must not be fed rows afterwards.
+        """
+        if self.n_seen or self._reservoir is not None:
+            raise ValueError(
+                "plan() needs a fresh sampler; this one has already "
+                f"seen {self.n_seen} row(s)."
+            )
+        if n_rows < 0:
+            raise ValueError(f"n_rows must be >= 0; got {n_rows}.")
+        self._planned = True
+        fill = min(self.capacity, int(n_rows))
+        events: list[tuple[int, int]] = []
+        self.n_seen = fill
+        if fill == self.capacity:
+            self._schedule_next(self.n_seen - 1)
+            while self._next_accept < n_rows:
+                slot = int(self._uniform() * self.capacity)
+                events.append((self._next_accept, slot))
+                self._schedule_next(self._next_accept)
+            self.n_seen = int(n_rows)
+        return ReservoirPlan(
+            capacity=self.capacity,
+            n_rows=int(n_rows),
+            fill=fill,
+            events=tuple(events),
+        )
+
+    def merge(self, other: "ReservoirSampler") -> "ReservoirSampler":
+        """Fold another reservoir into this one.
+
+        The merged reservoir is a uniform sample (without replacement)
+        of the union of both input streams: the number of survivors
+        kept from each side follows the hypergeometric split of a
+        uniform draw over the union, and the subsets themselves are
+        drawn uniformly from each reservoir. All randomness comes from
+        *this* sampler's generator, so the result is seeded and
+        order-deterministic; ``other`` is not mutated. The Algorithm L
+        continuation state is re-derived by a data-free replay, so
+        :meth:`extend` stays exact after merging.
+
+        This is the statistical merge for reservoirs fitted over
+        genuinely independent streams. The sharded fit path does not
+        use it — byte-identity there comes from :meth:`plan` instead.
+        """
+        if not isinstance(other, ReservoirSampler):
+            raise TypeError(
+                f"can only merge another ReservoirSampler; got "
+                f"{type(other).__name__}."
+            )
+        if other.capacity != self.capacity:
+            raise ValueError(
+                f"cannot merge reservoirs of different capacities "
+                f"({self.capacity} vs {other.capacity})."
+            )
+        if other.n_seen == 0:
+            return self
+        if (
+            self._reservoir is not None
+            and other._reservoir is not None
+            and self._reservoir.shape[1] != other._reservoir.shape[1]
+        ):
+            raise ValueError(
+                f"cannot merge reservoirs over different dimensionalities "
+                f"({self._reservoir.shape[1]} vs "
+                f"{other._reservoir.shape[1]})."
+            )
+        n_a, n_b = self.n_seen, other.n_seen
+        total = n_a + n_b
+        size = min(self.capacity, total)
+        # Hypergeometric split: how many of the merged sample's rows
+        # come from this reservoir's stream. Bounded by each side's
+        # survivor count automatically (t <= min(size, n_a), and
+        # size - t <= n_b).
+        take_a = int(self._rng.hypergeometric(n_a, n_b, size)) if n_a else 0
+        take_b = size - take_a
+        rows_a = (
+            self._reservoir[
+                np.sort(self._rng.permutation(self._filled)[:take_a])
+            ]
+            if take_a
+            else np.empty((0, other._reservoir.shape[1]))
+        )
+        rows_b = other._reservoir[
+            np.sort(self._rng.permutation(other._filled)[:take_b])
+        ]
+        merged = np.vstack([rows_a, rows_b])
+        if self._reservoir is None:
+            self._reservoir = np.empty(
+                (self.capacity, merged.shape[1])
+            )
+        self._reservoir[:size] = merged
+        self._filled = size
+        self.n_seen = total
+        if self._filled == self.capacity:
+            self._replay_schedule(total)
+        return self
+
+    def _replay_schedule(self, n_seen: int) -> None:
+        """Re-derive (w, next_accept) as a fresh pass over ``n_seen``.
+
+        After a merge the continuation state must be distributed as if
+        a single sampler had streamed all ``n_seen`` rows; replaying
+        the schedule data-free (consuming only this sampler's
+        generator) produces exactly that distribution.
+        """
+        self._w = 1.0
+        self._schedule_next(self.capacity - 1)
+        while self._next_accept < n_seen:
+            self._uniform()  # the slot draw of the replayed acceptance
+            self._schedule_next(self._next_accept)
 
     @property
     def sample(self) -> np.ndarray:

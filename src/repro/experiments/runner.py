@@ -17,6 +17,7 @@ from repro.obs import (
     use_recorder,
 )
 from repro.parallel import use_n_jobs
+from repro.sharding import use_shards
 
 __all__ = [
     "run_experiment",
@@ -34,6 +35,7 @@ def run_experiment(
     record: bool = True,
     metrics_out=None,
     n_jobs: int | None = None,
+    shards: int | None = None,
     fault_policy=None,
     profile: bool = False,
     memory: bool = False,
@@ -72,6 +74,13 @@ def run_experiment(
         (see :mod:`repro.parallel`); ``None`` leaves the ambient
         default / ``REPRO_N_JOBS`` resolution in place. Counters and
         results are identical for any value.
+    shards:
+        Shard count installed as the ambient default for the run (see
+        :mod:`repro.sharding`); ``None`` leaves the ambient default /
+        ``REPRO_SHARDS`` resolution in place. Fit/eval/gather passes
+        then fan out as ``shards`` row-range shards; results are
+        byte-identical for any value (only the ``shard*`` bookkeeping
+        counters differ from a serial run).
     fault_policy:
         Invalid-row handling installed as the ambient policy for the
         run: a mode name (``"strict"``, ``"quarantine"``,
@@ -97,20 +106,25 @@ def run_experiment(
         recorder = get_recorder()
         context = nullcontext()
     jobs_context = use_n_jobs(n_jobs) if n_jobs is not None else nullcontext()
+    shards_context = (
+        use_shards(shards) if shards is not None else nullcontext()
+    )
     policy_context = (
         use_fault_policy(fault_policy)
         if fault_policy is not None
         else nullcontext()
     )
     memory_context = trace_memory() if (record and memory) else nullcontext()
-    with context, jobs_context, policy_context, memory_context, (
-        Stopwatch()
-    ) as watch:
+    with context, jobs_context, shards_context, policy_context, (
+        memory_context
+    ), Stopwatch() as watch:
         with recorder.phase(f"run:{name}"):
             result = spec.run(scale=scale, seed=seed)
     if record:
         result.elapsed = recorder.spans[-1].elapsed
         params = {"scale": scale, "seed": seed}
+        if shards is not None:
+            params["shards"] = int(shards)
         if fault_policy is not None:
             params["fault_policy"] = str(
                 getattr(fault_policy, "mode", fault_policy)

@@ -168,7 +168,25 @@ class Histogram:
             summaries are recomputed, not trusted).
         name:
             Metric name to attach (dictionaries do not carry it).
+
+        Raises
+        ------
+        ValueError
+            If a required key is missing or the counts length does not
+            match the bounds — schema drift across shard workers must
+            fail loudly, not silently mis-bin.
         """
+        missing = [
+            key
+            for key in ("bounds", "counts", "count", "sum")
+            if key not in data
+        ]
+        if missing:
+            raise ValueError(
+                f"histogram {name!r}: payload is missing required "
+                f"key(s) {', '.join(repr(k) for k in missing)}; got "
+                f"keys {sorted(data)!r}."
+            )
         hist = cls(name, tuple(data["bounds"]))
         counts = [int(n) for n in data["counts"]]
         if len(counts) != len(hist.counts):

@@ -22,6 +22,7 @@ hiding inside a phase.
 
 from __future__ import annotations
 
+import fnmatch
 from dataclasses import dataclass, field
 
 from repro.obs.manifest import RunManifest
@@ -83,6 +84,7 @@ def diff_manifests(
     b: RunManifest,
     budget: float = 2.0,
     counters_only: bool = False,
+    ignore: tuple[str, ...] = (),
 ) -> DiffResult:
     """Compare manifest ``b`` against baseline ``a``.
 
@@ -98,6 +100,11 @@ def diff_manifests(
     counters_only:
         Skip the timer comparison entirely (the CI determinism check:
         serial vs parallel runs share counters but not wall-clock).
+    ignore:
+        ``fnmatch`` patterns of counter names excluded from the
+        comparison — e.g. ``("shard*",)`` when diffing a sharded run
+        against a serial baseline, where the shard bookkeeping counters
+        exist on one side only by construction.
 
     Returns
     -------
@@ -107,6 +114,8 @@ def diff_manifests(
         raise ValueError(f"budget must be > 1.0; got {budget}.")
     result = DiffResult()
     for name in sorted(set(a.counters) | set(b.counters)):
+        if any(fnmatch.fnmatch(name, pattern) for pattern in ignore):
+            continue
         va, vb = a.counters.get(name), b.counters.get(name)
         if va != vb:
             result.counter_diffs.append((name, va, vb))

@@ -1,0 +1,53 @@
+"""Sharded out-of-core fitting: plans, mergeable partials, fan-out.
+
+This package splits one dataset pass into ``S`` contiguous row-range
+shards (:class:`ShardPlan`), runs each shard through the existing
+:mod:`repro.parallel` backends (:func:`shard_map` and the scan helpers
+:func:`fit_shards` / :func:`eval_shards` / :func:`sharded_gather`),
+and folds the mergeable shard partials with a deterministic left fold
+(:func:`merge_partials`). Results are byte-identical to the serial
+pass for any shard count and any worker count — see DESIGN.md §13 for
+the merge contracts and the determinism argument.
+
+The ambient shard count is configured like the worker count:
+``repro run --shards S``, :func:`use_shards`, or the ``REPRO_SHARDS``
+environment variable (:func:`resolve_shards`).
+"""
+
+from repro.sharding.context import SHARDS_ENV, resolve_shards, use_shards
+from repro.sharding.partials import (
+    GatherShard,
+    NormalizerShard,
+    ShardFitState,
+    merge_partials,
+)
+from repro.sharding.plan import ShardPlan, ShardSpec, ShardView
+from repro.sharding.runner import (
+    SHARD_EVAL_PHASE,
+    SHARD_FIT_PHASE,
+    SHARD_GATHER_PHASE,
+    eval_shards,
+    fit_shards,
+    shard_map,
+    sharded_gather,
+)
+
+__all__ = [
+    "SHARD_EVAL_PHASE",
+    "SHARD_FIT_PHASE",
+    "SHARD_GATHER_PHASE",
+    "SHARDS_ENV",
+    "GatherShard",
+    "NormalizerShard",
+    "ShardFitState",
+    "ShardPlan",
+    "ShardSpec",
+    "ShardView",
+    "eval_shards",
+    "fit_shards",
+    "merge_partials",
+    "resolve_shards",
+    "shard_map",
+    "sharded_gather",
+    "use_shards",
+]

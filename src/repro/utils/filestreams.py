@@ -90,8 +90,10 @@ class NpyFileStream(DataStream):
         self._n_raw = mapped.shape[0]
         self.n_dims = mapped.shape[1]
         self.n_points = self._n_raw
+        self._chunk_invalid: tuple[int, ...] | None = None
         if self.fault_policy.mode == "quarantine":
-            self.n_points = self._n_raw - self._prescan_invalid_rows()
+            self._chunk_invalid = self._prescan_invalid_rows()
+            self.n_points = self._n_raw - sum(self._chunk_invalid)
             if self.n_points == 0:
                 raise DataValidationError(
                     f"every row of {path!r} was quarantined; the file holds "
@@ -99,16 +101,16 @@ class NpyFileStream(DataStream):
                 )
         self.passes = 0
 
-    def _prescan_invalid_rows(self) -> int:
-        """Invalid-row count over the whole file (no recorder effects)."""
-        total = 0
+    def _prescan_invalid_rows(self) -> tuple[int, ...]:
+        """Per-chunk invalid-row counts (no recorder effects)."""
+        counts = []
         for start in range(0, self._n_raw, self.chunk_size):
             chunk = np.asarray(
                 self._mapped[start : start + self.chunk_size],
                 dtype=np.float64,
             )
-            total += self.fault_policy.count_invalid_rows(chunk)
-        return total
+            counts.append(self.fault_policy.count_invalid_rows(chunk))
+        return tuple(counts)
 
     def _read_chunk(self, start: int) -> np.ndarray:
         stop = min(start + self.chunk_size, self._n_raw)
@@ -133,6 +135,7 @@ class NpyFileStream(DataStream):
             )
             recorder.count("points_seen", clean.shape[0])
             if clean.shape[0]:
+                recorder.observe("stream_chunk_rows", clean.shape[0])
                 yield out, clean
                 out += clean.shape[0]
 
@@ -150,6 +153,62 @@ class NpyFileStream(DataStream):
         if not parts:
             return np.empty((0, self.n_dims))
         return np.vstack(parts)
+
+    # -- shard support (see repro.sharding) ----------------------------------
+
+    def chunk_sizes(self) -> tuple[int, ...]:
+        """Surviving-row count of every chunk one pass would yield.
+
+        Bookkeeping, not a scan: under quarantine the counts come from
+        the construction-time pre-scan; otherwise every raw row
+        survives (strict raises mid-pass instead of dropping).
+        """
+        raw = [
+            min(self.chunk_size, self._n_raw - start)
+            for start in range(0, self._n_raw, self.chunk_size)
+        ]
+        if self._chunk_invalid is not None:
+            return tuple(
+                size - bad for size, bad in zip(raw, self._chunk_invalid)
+            )
+        return tuple(raw)
+
+    def iter_chunk_range(self, lo: int, hi: int):
+        """Yield ``(offset, chunk)`` for raw chunk indices ``[lo, hi)``.
+
+        Byte-identical to the corresponding slice of
+        :meth:`iter_with_offsets` — same policy application, same
+        surviving-row offsets, same per-chunk recorder effects — but
+        the pass bookkeeping (``passes``, ``data_passes``) is owned by
+        the coordinating shard scan (see :mod:`repro.sharding`).
+        """
+        recorder = get_recorder()
+        sizes = self.chunk_sizes()
+        out = sum(sizes[:lo])
+        for index in range(lo, min(hi, len(sizes))):
+            start = index * self.chunk_size
+            clean = self.fault_policy.apply(
+                self._read_chunk(start),
+                origin=self.path,
+                pass_index=self.passes,
+                start=start,
+            )
+            recorder.count("points_seen", clean.shape[0])
+            if clean.shape[0]:
+                recorder.observe("stream_chunk_rows", clean.shape[0])
+                yield out, clean
+                out += clean.shape[0]
+
+    # -- pickling (process-backend shard workers) ----------------------------
+
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state["_mapped"] = None  # memory maps do not pickle; reopen
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._mapped = np.load(self.path, mmap_mode="r")
 
 
 class CsvFileStream(DataStream):
@@ -226,12 +285,13 @@ class CsvFileStream(DataStream):
         self.n_dims = n_dims
         self.n_points = n_points
         self.passes = 0
+        self._chunk_invalid: tuple[int, ...] | None = None
         if self.fault_policy.mode == "quarantine":
-            invalid = sum(
+            self._chunk_invalid = tuple(
                 self.fault_policy.count_invalid_rows(chunk)
                 for _, chunk in self._raw_chunks()
             )
-            self.n_points = n_points - invalid
+            self.n_points = n_points - sum(self._chunk_invalid)
             if self.n_points == 0:
                 raise DataValidationError(
                     f"every row of {path!r} was quarantined; the file holds "
@@ -296,6 +356,7 @@ class CsvFileStream(DataStream):
             )
             recorder.count("points_seen", clean.shape[0])
             if clean.shape[0]:
+                recorder.observe("stream_chunk_rows", clean.shape[0])
                 yield out, clean
                 out += clean.shape[0]
 
@@ -313,6 +374,55 @@ class CsvFileStream(DataStream):
         if not parts:
             return np.empty((0, self.n_dims))
         return np.vstack(parts)
+
+    # -- shard support (see repro.sharding) ----------------------------------
+
+    def chunk_sizes(self) -> tuple[int, ...]:
+        """Surviving-row count of every chunk one pass would yield.
+
+        Bookkeeping, not a scan: derived from the construction-time
+        pre-pass (row count, and per-chunk invalid counts under
+        quarantine), so no file traversal happens here.
+        """
+        raw = [
+            min(self.chunk_size, self._n_raw - start)
+            for start in range(0, self._n_raw, self.chunk_size)
+        ]
+        if self._chunk_invalid is not None:
+            return tuple(
+                size - bad for size, bad in zip(raw, self._chunk_invalid)
+            )
+        return tuple(raw)
+
+    def iter_chunk_range(self, lo: int, hi: int):
+        """Yield ``(offset, chunk)`` for raw chunk indices ``[lo, hi)``.
+
+        Byte-identical to the corresponding slice of
+        :meth:`iter_with_offsets`; the pass bookkeeping is owned by the
+        coordinating shard scan (see :mod:`repro.sharding`). Text files
+        have no row index, so reaching chunk ``lo`` still reads the
+        file prefix — sharding a CSV is correctness-first; convert to
+        ``.npy`` for seek-free shard reads.
+        """
+        recorder = get_recorder()
+        sizes = self.chunk_sizes()
+        out = sum(sizes[:lo])
+        for index, (start, chunk) in enumerate(self._raw_chunks()):
+            if index >= hi:
+                break
+            if index < lo:
+                continue
+            clean = self.fault_policy.apply(
+                chunk,
+                origin=self.path,
+                pass_index=self.passes,
+                start=start,
+            )
+            recorder.count("points_seen", clean.shape[0])
+            if clean.shape[0]:
+                recorder.observe("stream_chunk_rows", clean.shape[0])
+                yield out, clean
+                out += clean.shape[0]
 
 
 def _float_or_nan(cell: str) -> float:

@@ -137,6 +137,44 @@ class DataStream:
         recorder.count("points_seen", self.n_points)
         return self._data
 
+    # -- shard support (see repro.sharding) ----------------------------------
+
+    def chunk_sizes(self) -> tuple[int, ...]:
+        """Surviving-row count of every chunk one pass would yield.
+
+        Bookkeeping, not a scan: computed from the stream's metadata,
+        so it is not counted in ``passes`` or ``data_passes``. A
+        :class:`repro.sharding.ShardPlan` uses it to split the chunk
+        sequence across shards without perturbing chunk boundaries.
+        """
+        return tuple(
+            min(self.chunk_size, self.n_points - start)
+            for start in range(0, self.n_points, self.chunk_size)
+        )
+
+    def iter_chunk_range(
+        self, lo: int, hi: int
+    ) -> Iterator[tuple[int, np.ndarray]]:
+        """Yield ``(offset, chunk)`` for chunk indices ``[lo, hi)``.
+
+        The offsets and chunk contents are byte-identical to the
+        corresponding slice of :meth:`iter_with_offsets`. Per-chunk
+        effects (``points_seen``, the ``stream_chunk_rows`` histogram)
+        are recorded exactly as a full pass would record them, but the
+        pass itself is owned by the coordinating shard scan: neither
+        ``passes`` nor ``data_passes`` is bumped here (see
+        :mod:`repro.sharding`).
+        """
+        recorder = get_recorder()
+        for start in range(
+            lo * self.chunk_size, min(hi * self.chunk_size, self.n_points),
+            self.chunk_size,
+        ):
+            chunk = self._data[start : start + self.chunk_size]
+            recorder.count("points_seen", chunk.shape[0])
+            recorder.observe("stream_chunk_rows", chunk.shape[0])
+            yield start, chunk
+
 
 class PassCounter:
     """Context helper recording how many passes a block of code performed.

@@ -284,3 +284,105 @@ class TestFileStreamHardening:
         policy = RetryPolicy(max_retries=2)
         with pytest.raises(StreamReadError):
             policy.call(always_down, describe="chunk read")
+
+
+class TestCsvTrailingBuffer:
+    """The `_raw_chunks` trailing-buffer boundary: every layout of the
+    final chunk must give the same row count as `materialize()`."""
+
+    def _write(self, tmp_path, n_rows, trailer=""):
+        rows = np.arange(n_rows * 2, dtype=float).reshape(n_rows, 2)
+        path = os.path.join(tmp_path, f"rows{n_rows}.csv")
+        with open(path, "w") as handle:
+            for row in rows:
+                handle.write(f"{row[0]},{row[1]}\n")
+            handle.write(trailer)
+        return path, rows
+
+    @pytest.mark.parametrize("n_rows", [9, 10, 11, 19, 20, 21, 1])
+    def test_partial_final_buffer_counts_match(self, tmp_path, n_rows):
+        path, rows = self._write(tmp_path, n_rows)
+        stream = CsvFileStream(path, chunk_size=10)
+        assert stream.n_points == n_rows
+        assert stream.materialize().shape[0] == n_rows
+        np.testing.assert_array_equal(stream.materialize(), rows)
+
+    @pytest.mark.parametrize("trailer", ["\n", "\n\n\n", "   \n\n"])
+    def test_trailing_blank_lines_do_not_add_rows(self, tmp_path, trailer):
+        path, rows = self._write(tmp_path, 10, trailer=trailer)
+        stream = CsvFileStream(path, chunk_size=4)
+        assert stream.n_points == 10
+        np.testing.assert_array_equal(stream.materialize(), rows)
+
+    def test_exact_multiple_of_chunk_size(self, tmp_path):
+        path, rows = self._write(tmp_path, 12)
+        stream = CsvFileStream(path, chunk_size=4)
+        chunks = list(stream)
+        assert [c.shape[0] for c in chunks] == [4, 4, 4]
+        assert sum(c.shape[0] for c in chunks) == stream.n_points
+        np.testing.assert_array_equal(np.vstack(chunks), rows)
+
+    def test_no_trailing_newline(self, tmp_path):
+        path = os.path.join(tmp_path, "nonewline.csv")
+        with open(path, "w") as handle:
+            handle.write("1.0,2.0\n3.0,4.0\n5.0,6.0")
+        stream = CsvFileStream(path, chunk_size=2)
+        assert stream.n_points == 3
+        assert stream.materialize().shape == (3, 2)
+
+
+class TestShardSupportApi:
+    """chunk_sizes() / iter_chunk_range() agree with full iteration."""
+
+    @pytest.mark.parametrize("kind", ["npy", "csv"])
+    def test_chunk_sizes_match_iteration(self, kind, npy_path, csv_path):
+        path = npy_path if kind == "npy" else csv_path
+        cls = NpyFileStream if kind == "npy" else CsvFileStream
+        stream = cls(path, chunk_size=50)
+        sizes = stream.chunk_sizes()
+        assert sum(sizes) == stream.n_points
+        assert list(sizes) == [c.shape[0] for c in stream]
+
+    @pytest.mark.parametrize("kind", ["npy", "csv"])
+    def test_iter_chunk_range_is_a_slice_of_the_pass(
+        self, kind, npy_path, csv_path
+    ):
+        path = npy_path if kind == "npy" else csv_path
+        cls = NpyFileStream if kind == "npy" else CsvFileStream
+        stream = cls(path, chunk_size=50)
+        full = list(stream.iter_with_offsets())
+        got = list(stream.iter_chunk_range(1, 4))
+        assert [start for start, _ in got] == [start for start, _ in full[1:4]]
+        for (_, expected), (_, actual) in zip(full[1:4], got):
+            np.testing.assert_array_equal(expected, actual)
+
+    @pytest.mark.parametrize("kind", ["npy", "csv"])
+    def test_iter_chunk_range_under_quarantine(self, kind, tmp_path, array):
+        dirty = array.copy()
+        dirty[10, 0] = np.nan
+        dirty[120, 1] = np.inf
+        if kind == "npy":
+            path = os.path.join(tmp_path, "dirty.npy")
+            np.save(path, dirty)
+            cls = NpyFileStream
+        else:
+            path = os.path.join(tmp_path, "dirty.csv")
+            np.savetxt(path, dirty, delimiter=",")
+            cls = CsvFileStream
+        stream = cls(path, chunk_size=50, fault_policy="quarantine")
+        full = list(stream.iter_with_offsets())
+        n_chunks = len(stream.chunk_sizes())
+        got = list(stream.iter_chunk_range(0, n_chunks))
+        assert [s for s, _ in got] == [s for s, _ in full]
+        for (_, expected), (_, actual) in zip(full, got):
+            np.testing.assert_array_equal(expected, actual)
+
+    def test_npy_stream_pickles_and_reopens(self, npy_path, array):
+        import pickle
+
+        stream = NpyFileStream(npy_path, chunk_size=64)
+        clone = pickle.loads(pickle.dumps(stream))
+        np.testing.assert_array_equal(clone.materialize(), array)
+        np.testing.assert_array_equal(
+            np.vstack(list(clone)), np.vstack(list(stream))
+        )

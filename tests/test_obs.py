@@ -370,6 +370,32 @@ class TestHistogram:
         with pytest.raises(ValueError, match="bucket bounds"):
             a.merge(Histogram("x", (1.0, 3.0)))
 
+    def test_merge_rejects_dict_payload_with_mismatched_bounds(self):
+        a = Histogram("x", (1.0, 2.0))
+        payload = Histogram("x", (1.0, 3.0)).to_dict()
+        with pytest.raises(ValueError, match="bucket bounds"):
+            a.merge(payload)
+
+    @pytest.mark.parametrize("dropped", ["bounds", "counts", "count", "sum"])
+    def test_from_dict_missing_key_fails_loudly(self, dropped):
+        payload = Histogram("x", (1.0, 2.0)).to_dict()
+        del payload[dropped]
+        with pytest.raises(ValueError, match=f"missing required key.*{dropped}"):
+            Histogram.from_dict(payload, name="x")
+
+    def test_merge_rejects_dict_payload_missing_buckets(self):
+        a = Histogram("x", (1.0, 2.0))
+        payload = a.to_dict()
+        del payload["counts"]
+        with pytest.raises(ValueError, match="missing required key"):
+            a.merge(payload)
+
+    def test_from_dict_rejects_counts_length_mismatch(self):
+        payload = Histogram("x", (1.0, 2.0)).to_dict()
+        payload["counts"] = [0, 0]  # needs len(bounds) + 1 == 3
+        with pytest.raises(ValueError, match="bucket counts"):
+            Histogram.from_dict(payload, name="x")
+
     def test_quantiles(self):
         h = Histogram("x", (1.0, 2.0, 4.0))
         assert h.quantile(0.5) == 0.0  # empty

@@ -181,6 +181,23 @@ class TestDiff:
         with pytest.raises(ValueError):
             diff_manifests(a, a, budget=1.0)
 
+    def test_ignore_patterns_exclude_counters(self):
+        # The sharded-vs-serial CI leg: shard bookkeeping counters exist
+        # on one side only, by construction.
+        a = synthetic_manifest("x", {}, {"data_passes": 2})
+        b = synthetic_manifest(
+            "x", {}, {"data_passes": 2, "shards_fitted": 3, "shard_rows": 90}
+        )
+        assert diff_manifests(a, b).verdict == "regressed"
+        result = diff_manifests(a, b, ignore=("shard*",))
+        assert result.verdict == "unchanged"
+        assert result.exit_code == 0
+
+    def test_ignore_does_not_mask_real_differences(self):
+        a = synthetic_manifest("x", {}, {"data_passes": 2})
+        b = synthetic_manifest("x", {}, {"data_passes": 3, "shard_rows": 9})
+        assert diff_manifests(a, b, ignore=("shard*",)).verdict == "regressed"
+
 
 class TestSpanCoverage:
     def test_children_explain_parent(self):

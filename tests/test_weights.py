@@ -25,8 +25,9 @@ class TestInverseProbabilityWeights:
         with pytest.raises(ParameterError):
             inverse_probability_weights([1.5])
 
-    def test_empty_ok(self):
-        assert inverse_probability_weights([]).shape == (0,)
+    def test_empty_raises_located_error(self):
+        with pytest.raises(ParameterError, match="inverse_probability_weights"):
+            inverse_probability_weights([])
 
 
 class TestEffectiveSampleSize:
@@ -42,12 +43,29 @@ class TestEffectiveSampleSize:
     def test_skew_shrinks_ess(self):
         assert effective_sample_size([1.0, 1.0, 100.0]) < 3.0
 
-    def test_empty(self):
-        assert effective_sample_size([]) == 0.0
+    def test_empty_raises_located_error(self):
+        with pytest.raises(ParameterError, match="effective_sample_size"):
+            effective_sample_size([])
+
+    def test_all_zero_weights_raise_located_error(self):
+        with pytest.raises(ParameterError, match="effective_sample_size"):
+            effective_sample_size([0.0, 0.0, 0.0])
 
     def test_rejects_negative(self):
         with pytest.raises(ParameterError):
             effective_sample_size([-1.0])
+
+    def test_no_warning_on_degenerate_inputs(self):
+        """Degenerate inputs raise cleanly instead of warning nan/inf."""
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            for bad in ([], [0.0, 0.0]):
+                with pytest.raises(ParameterError):
+                    effective_sample_size(bad)
+            with pytest.raises(ParameterError):
+                inverse_probability_weights([])
 
 
 class TestHorvitzThompsonUnbiasedness:

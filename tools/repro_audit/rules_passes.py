@@ -14,8 +14,10 @@ class (samplers, density estimators, outlier detectors) it
 3. reports any scan reachable *inside a loop* as unbounded.
 
 Scan intrinsics are ``for ... in <stream>``, ``.iter_with_offsets()``
-and ``.materialize()`` on stream-typed receivers, plus comprehensions
-iterating a stream. Stream-typed values are inferred from parameter
+and ``.materialize()`` on stream-typed receivers, comprehensions
+iterating a stream, and ``shard_map(...)`` — the sharded fan-out of
+one pass (its tasks partition the chunk sequence, so the dispatch
+costs one pass total). Stream-typed values are inferred from parameter
 names/annotations (``stream``, ``source``, ``DataStream``), stream
 factory calls (``as_stream`` / ``_as_stream``) and constructor calls of
 ``DataStream`` subclasses, propagated through local assignment.
@@ -426,6 +428,25 @@ class PassCounter:
                         path=state.func.module.display_path,
                         line=call.lineno,
                         kind=f".{func_expr.attr}()",
+                        phase=phase,
+                    ),
+                ),
+            )
+
+        # Intrinsic: shard_map(...) — a shard fan-out partitions one
+        # pass's chunk sequence across its tasks, so the dispatch reads
+        # each row of the plan's stream exactly once regardless of the
+        # shard or worker count (repro.sharding.runner).
+        chain = attr_chain(func_expr)
+        if chain and chain[-1] == "shard_map":
+            return (
+                _add(counts, {phase: 1}),
+                sites
+                + (
+                    ScanSite(
+                        path=state.func.module.display_path,
+                        line=call.lineno,
+                        kind="shard_map() fan-out",
                         phase=phase,
                     ),
                 ),
