@@ -33,7 +33,10 @@ from repro.density import (
     GridDensityEstimator,
     KernelDensityEstimator,
     KnnDensityEstimator,
+    TreeDensityEstimator,
     WaveletDensityEstimator,
+    make_density_estimator,
+    use_density_backend,
 )
 from repro.clustering import (
     AgglomerativeClustering,
@@ -88,9 +91,12 @@ __all__ = [
     "SamplerRecommendation",
     "KernelDensityEstimator",
     "GridDensityEstimator",
+    "TreeDensityEstimator",
     "KnnDensityEstimator",
     "WaveletDensityEstimator",
     "DctDensityEstimator",
+    "make_density_estimator",
+    "use_density_backend",
     "CureClustering",
     "Birch",
     "KMeans",

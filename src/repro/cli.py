@@ -104,6 +104,16 @@ def build_parser() -> argparse.ArgumentParser:
         "are byte-identical for any value.",
     )
     run.add_argument(
+        "--density-backend",
+        choices=("kde", "tree"),
+        default=None,
+        help="density-estimator family for every default-built "
+        "estimator in the run: kde (the paper's kernel sum) or tree "
+        "(random-partition forest; coarser estimates, much faster "
+        "lookups). Default: the REPRO_DENSITY_BACKEND environment "
+        "variable, else kde.",
+    )
+    run.add_argument(
         "--fault-policy",
         choices=("strict", "quarantine", "repair"),
         default=None,
@@ -240,6 +250,7 @@ def main(argv=None) -> int:
                                     metrics_out=args.metrics_out,
                                     n_jobs=args.n_jobs,
                                     shards=args.shards,
+                                    density_backend=args.density_backend,
                                     fault_policy=args.fault_policy,
                                     profile=args.profile,
                                     memory=args.memory)

@@ -28,8 +28,8 @@ from dataclasses import dataclass, field
 import numpy as np
 from numpy.typing import ArrayLike
 
+from repro.density.backends import make_density_estimator
 from repro.density.base import DensityEstimator
-from repro.density.kde import KernelDensityEstimator
 from repro.exceptions import DataValidationError, ParameterError
 from repro.obs import get_recorder
 from repro.parallel import parallel_map_chunks
@@ -240,7 +240,7 @@ class DensityBiasedSampler:
     ) -> DensityEstimator:
         estimator = self.estimator
         if estimator is None:
-            estimator = KernelDensityEstimator(n_kernels=1000, random_state=rng)
+            estimator = make_density_estimator(budget=1000, random_state=rng)
         if getattr(estimator, "n_points_", None) is None:
             estimator.fit(stream=source)
         self.estimator_ = estimator

@@ -59,13 +59,19 @@ class SamplerRecommendation:
     def make_sampler(
         self, n_points: int, random_state: RandomStateLike = None
     ) -> DensityBiasedSampler:
-        """Instantiate a :class:`~repro.core.DensityBiasedSampler`."""
+        """Instantiate a :class:`~repro.core.DensityBiasedSampler`.
+
+        The estimator family honours the ambient density backend
+        (:func:`repro.density.backends.use_density_backend` /
+        ``REPRO_DENSITY_BACKEND``); the guide's ``n_kernels`` budget
+        applies to backends measured in kernel centers.
+        """
         from repro.core.biased import DensityBiasedSampler
-        from repro.density.kde import KernelDensityEstimator
+        from repro.density.backends import make_density_estimator
 
         sample_size = max(1, int(self.sample_fraction * n_points))
-        estimator = KernelDensityEstimator(
-            n_kernels=self.n_kernels, random_state=random_state
+        estimator = make_density_estimator(
+            budget=self.n_kernels, random_state=random_state
         )
         return DensityBiasedSampler(
             sample_size=sample_size,

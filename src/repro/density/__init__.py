@@ -7,6 +7,13 @@ choice is orthogonal, so grid-histogram and k-NN estimators are provided
 as drop-in alternatives (and exercised by the ablation benchmark).
 """
 
+from repro.density.backends import (
+    DENSITY_BACKEND_ENV,
+    density_backend_names,
+    make_density_estimator,
+    resolve_density_backend,
+    use_density_backend,
+)
 from repro.density.base import DensityEstimator
 from repro.density.kernels import (
     Kernel,
@@ -20,13 +27,19 @@ from repro.density.kernels import (
 from repro.density.bandwidth import scott_bandwidth, silverman_bandwidth
 from repro.density.kde import KernelDensityEstimator
 from repro.density.histogram import GridDensityEstimator
+from repro.density.tree import TreeDensityEstimator, tree_leaf_indices
 from repro.density.knn import KnnDensityEstimator
 from repro.density.wavelet import WaveletDensityEstimator
 from repro.density.dct import DctDensityEstimator
 from repro.density.reservoir import ReservoirSampler, reservoir_sample
 
 __all__ = [
+    "DENSITY_BACKEND_ENV",
     "DensityEstimator",
+    "density_backend_names",
+    "make_density_estimator",
+    "resolve_density_backend",
+    "use_density_backend",
     "Kernel",
     "EpanechnikovKernel",
     "GaussianKernel",
@@ -38,6 +51,8 @@ __all__ = [
     "silverman_bandwidth",
     "KernelDensityEstimator",
     "GridDensityEstimator",
+    "TreeDensityEstimator",
+    "tree_leaf_indices",
     "KnnDensityEstimator",
     "WaveletDensityEstimator",
     "DctDensityEstimator",

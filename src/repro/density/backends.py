@@ -1,0 +1,151 @@
+"""Selectable density backends: one knob choosing the estimator family.
+
+The sampler is agnostic about *how* densities are estimated (the paper
+stresses the choice is orthogonal), so the default estimator every
+entry point builds — :class:`~repro.core.DensityBiasedSampler` without
+an explicit ``estimator``, the practitioner's-guide
+:meth:`~repro.core.SamplerRecommendation.make_sampler`, the pipelines
+and the experiment runner — is resolved through this registry:
+
+* ``"kde"`` — the paper's kernel density estimate (reservoir centers,
+  product kernels); the default.
+* ``"tree"`` — the random-partition forest
+  (:class:`~repro.density.tree.TreeDensityEstimator`): coarser
+  per-point estimates, but a fit that is pure streaming counting and a
+  lookup that costs ``O(trees * depth)`` per point instead of
+  ``O(m * d)``.
+
+Resolution mirrors the worker-count knob: an explicit ``backend``
+argument wins, then the ambient default installed by
+:func:`use_density_backend` (what ``repro run --density-backend``
+sets), then the ``REPRO_DENSITY_BACKEND`` environment variable, then
+``"kde"``. An explicitly supplied estimator instance always bypasses
+the registry.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Iterator
+
+from repro.density.base import DensityEstimator
+from repro.exceptions import ParameterError
+
+__all__ = [
+    "DENSITY_BACKEND_ENV",
+    "density_backend_names",
+    "make_density_estimator",
+    "resolve_density_backend",
+    "use_density_backend",
+]
+
+#: Environment variable overriding the default density backend.
+DENSITY_BACKEND_ENV = "REPRO_DENSITY_BACKEND"
+
+_DEFAULT_BACKEND: ContextVar[str | None] = ContextVar(
+    "repro_density_default_backend", default=None
+)
+
+
+def _make_kde(budget: int, random_state) -> DensityEstimator:
+    from repro.density.kde import KernelDensityEstimator
+
+    return KernelDensityEstimator(
+        n_kernels=budget, random_state=random_state
+    )
+
+
+def _make_tree(budget: int, random_state) -> DensityEstimator:
+    # The kernel budget does not transfer (a forest's summary is
+    # trees x leaves, not centers); the estimator's own defaults are
+    # the oracle-validated configuration.
+    from repro.density.tree import TreeDensityEstimator
+
+    return TreeDensityEstimator(random_state=random_state)
+
+
+_BACKENDS = {
+    "kde": _make_kde,
+    "tree": _make_tree,
+}
+
+
+def density_backend_names() -> tuple[str, ...]:
+    """Registered backend names, for CLI choices and error messages."""
+    return tuple(sorted(_BACKENDS))
+
+
+def resolve_density_backend(backend: str | None = None) -> str:
+    """Resolve a backend request to a registered backend name.
+
+    Parameters
+    ----------
+    backend:
+        Explicit request, or ``None`` to defer to the ambient default
+        (:func:`use_density_backend`), then the
+        ``REPRO_DENSITY_BACKEND`` environment variable, then ``"kde"``.
+    """
+    if backend is None:
+        backend = _DEFAULT_BACKEND.get()
+    if backend is None:
+        backend = os.environ.get(DENSITY_BACKEND_ENV, "").strip() or "kde"
+    name = str(backend).strip().lower()
+    if name not in _BACKENDS:
+        raise ParameterError(
+            f"unknown density backend {backend!r}; "
+            f"choose from {sorted(_BACKENDS)}."
+        )
+    return name
+
+
+@contextmanager
+def use_density_backend(backend: str | None) -> Iterator[None]:
+    """Install ``backend`` as the ambient default for a ``with`` block.
+
+    Everything inside the block that builds a default estimator — the
+    sampler fallback, the practitioner's guide, the pipelines — picks
+    this value up, which is how one ``--density-backend`` flag reaches
+    each construction site without threading a parameter through every
+    call. Built on a context variable, so concurrent threads and tasks
+    never observe each other's defaults.
+
+    Parameters
+    ----------
+    backend:
+        The backend name to install (validated eagerly; ``None``
+        reverts to the environment/default resolution).
+    """
+    if backend is not None:
+        backend = resolve_density_backend(backend)
+    token = _DEFAULT_BACKEND.set(backend)
+    try:
+        yield
+    finally:
+        _DEFAULT_BACKEND.reset(token)
+
+
+def make_density_estimator(
+    backend: str | None = None,
+    *,
+    budget: int = 1000,
+    random_state=None,
+) -> DensityEstimator:
+    """Build an unfitted estimator from the resolved backend.
+
+    Parameters
+    ----------
+    backend:
+        Backend name, or ``None`` for the ambient/environment
+        resolution (see :func:`resolve_density_backend`).
+    budget:
+        Summary-size budget in the backend's natural unit — kernel
+        centers for ``"kde"``; the forest backend sizes itself from
+        its own validated defaults.
+    random_state:
+        Seed or generator forwarded to the estimator.
+    """
+    return _BACKENDS[resolve_density_backend(backend)](
+        int(budget), random_state
+    )

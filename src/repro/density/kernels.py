@@ -50,12 +50,27 @@ class Kernel(abc.ABC):
     name: str = "kernel"
 
     @abc.abstractmethod
-    def profile(self, u: np.ndarray) -> np.ndarray:
-        """Kernel value at (already scaled) offsets ``u``."""
+    def profile(
+        self, u: np.ndarray, out: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Kernel value at (already scaled) offsets ``u``.
+
+        When ``out`` is given it receives the result (and is returned),
+        letting blocked evaluation loops reuse one scratch buffer
+        instead of allocating per call; ``out`` must not overlap ``u``.
+        Implementations keep the exact arithmetic (operation order and
+        rounding) of the allocating path, so results are byte-identical
+        either way.
+        """
 
     def __call__(self, u) -> np.ndarray:
         values = np.asarray(u, dtype=np.float64)
         get_recorder().count("kernel_evals", values.size)
+        if values.ndim == 0:
+            # Ufuncs hand back scalars (not 0-d arrays) for 0-d input,
+            # which the profiles' ``out=``-chains cannot consume; route
+            # scalars through a length-1 view instead.
+            return self.profile(values.reshape(1))[0]
         return self.profile(values)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -69,9 +84,16 @@ class EpanechnikovKernel(Kernel):
     canonical_bandwidth = 2.214  # delta_0 relative to the Gaussian kernel
     name = "epanechnikov"
 
-    def profile(self, u: np.ndarray) -> np.ndarray:
-        out = 0.75 * (1.0 - u * u)
-        return np.where(np.abs(u) <= 1.0, out, 0.0)
+    def profile(
+        self, u: np.ndarray, out: np.ndarray | None = None
+    ) -> np.ndarray:
+        # Same expression tree as ``0.75 * (1.0 - u * u)``: square,
+        # subtract from one, scale — each step rounds identically.
+        out = np.multiply(u, u, out=out)
+        np.subtract(1.0, out, out=out)
+        out *= 0.75
+        np.copyto(out, 0.0, where=~(np.abs(u) <= 1.0))
+        return out
 
 
 class GaussianKernel(Kernel):
@@ -83,8 +105,16 @@ class GaussianKernel(Kernel):
 
     _NORM = 1.0 / math.sqrt(2.0 * math.pi)
 
-    def profile(self, u: np.ndarray) -> np.ndarray:
-        return self._NORM * np.exp(-0.5 * u * u)
+    def profile(
+        self, u: np.ndarray, out: np.ndarray | None = None
+    ) -> np.ndarray:
+        # Mirrors ``self._NORM * np.exp(-0.5 * u * u)`` left to right:
+        # (-0.5 * u) * u, exp, scale.
+        out = np.multiply(-0.5, u, out=out)
+        out *= u
+        np.exp(out, out=out)
+        out *= self._NORM
+        return out
 
 
 class UniformKernel(Kernel):
@@ -94,8 +124,14 @@ class UniformKernel(Kernel):
     canonical_bandwidth = 1.740
     name = "uniform"
 
-    def profile(self, u: np.ndarray) -> np.ndarray:
-        return np.where(np.abs(u) <= 1.0, 0.5, 0.0)
+    def profile(
+        self, u: np.ndarray, out: np.ndarray | None = None
+    ) -> np.ndarray:
+        if out is None:
+            out = np.empty_like(u, dtype=np.float64)
+        out.fill(0.5)
+        np.copyto(out, 0.0, where=~(np.abs(u) <= 1.0))
+        return out
 
 
 class TriangularKernel(Kernel):
@@ -105,9 +141,13 @@ class TriangularKernel(Kernel):
     canonical_bandwidth = 2.432
     name = "triangular"
 
-    def profile(self, u: np.ndarray) -> np.ndarray:
-        out = 1.0 - np.abs(u)
-        return np.where(out > 0.0, out, 0.0)
+    def profile(
+        self, u: np.ndarray, out: np.ndarray | None = None
+    ) -> np.ndarray:
+        out = np.absolute(u, out=out)
+        np.subtract(1.0, out, out=out)
+        np.copyto(out, 0.0, where=~(out > 0.0))
+        return out
 
 
 class BiweightKernel(Kernel):
@@ -117,10 +157,13 @@ class BiweightKernel(Kernel):
     canonical_bandwidth = 2.623
     name = "biweight"
 
-    def profile(self, u: np.ndarray) -> np.ndarray:
+    def profile(
+        self, u: np.ndarray, out: np.ndarray | None = None
+    ) -> np.ndarray:
         w = 1.0 - u * u
-        out = (15.0 / 16.0) * w * w
-        return np.where(np.abs(u) <= 1.0, out, 0.0)
+        out = np.multiply((15.0 / 16.0) * w, w, out=out)
+        np.copyto(out, 0.0, where=~(np.abs(u) <= 1.0))
+        return out
 
 
 _KERNELS: dict[str, type[Kernel]] = {

@@ -16,7 +16,7 @@ from repro.baselines import GridBiasedSampler
 from repro.clustering import Birch, CureClustering
 from repro.core import DensityBiasedSampler, UniformSampler
 from repro.datasets.synthetic import SyntheticDataset
-from repro.density import KernelDensityEstimator
+from repro.density import make_density_estimator
 from repro.evaluation import birch_found_clusters, count_found_clusters
 
 __all__ = [
@@ -43,9 +43,15 @@ def biased_sample(
     n_kernels: int = 1000,
     seed: int = 0,
 ):
-    """The paper's sampler with its recommended estimator settings."""
-    estimator = KernelDensityEstimator(
-        n_kernels=min(n_kernels, dataset.n_points), random_state=seed
+    """The paper's sampler with its recommended estimator settings.
+
+    The estimator comes from the backend registry, so one ambient
+    ``--density-backend`` choice reaches every figure built on this
+    helper; the default resolution constructs exactly the paper's
+    KDE configuration.
+    """
+    estimator = make_density_estimator(
+        budget=min(n_kernels, dataset.n_points), random_state=seed
     )
     sampler = DensityBiasedSampler(
         sample_size=sample_size,

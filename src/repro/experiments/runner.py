@@ -5,6 +5,10 @@ from __future__ import annotations
 import sys
 from contextlib import nullcontext
 
+from repro.density.backends import (
+    resolve_density_backend,
+    use_density_backend,
+)
 from repro.experiments.registry import get_experiment
 from repro.experiments.reporting import ExperimentResult
 from repro.faults import use_fault_policy
@@ -36,6 +40,7 @@ def run_experiment(
     metrics_out=None,
     n_jobs: int | None = None,
     shards: int | None = None,
+    density_backend: str | None = None,
     fault_policy=None,
     profile: bool = False,
     memory: bool = False,
@@ -81,6 +86,12 @@ def run_experiment(
         then fan out as ``shards`` row-range shards; results are
         byte-identical for any value (only the ``shard*`` bookkeeping
         counters differ from a serial run).
+    density_backend:
+        Density-estimator family installed as the ambient default for
+        the run (``"kde"``, ``"tree"``; see
+        :mod:`repro.density.backends`); ``None`` leaves the ambient
+        default / ``REPRO_DENSITY_BACKEND`` resolution in place.
+        Every default-built estimator in the run uses this family.
     fault_policy:
         Invalid-row handling installed as the ambient policy for the
         run: a mode name (``"strict"``, ``"quarantine"``,
@@ -109,15 +120,20 @@ def run_experiment(
     shards_context = (
         use_shards(shards) if shards is not None else nullcontext()
     )
+    backend_context = (
+        use_density_backend(density_backend)
+        if density_backend is not None
+        else nullcontext()
+    )
     policy_context = (
         use_fault_policy(fault_policy)
         if fault_policy is not None
         else nullcontext()
     )
     memory_context = trace_memory() if (record and memory) else nullcontext()
-    with context, jobs_context, shards_context, policy_context, (
-        memory_context
-    ), Stopwatch() as watch:
+    with context, jobs_context, shards_context, backend_context, (
+        policy_context
+    ), memory_context, Stopwatch() as watch:
         with recorder.phase(f"run:{name}"):
             result = spec.run(scale=scale, seed=seed)
     if record:
@@ -125,6 +141,10 @@ def run_experiment(
         params = {"scale": scale, "seed": seed}
         if shards is not None:
             params["shards"] = int(shards)
+        if density_backend is not None:
+            params["density_backend"] = resolve_density_backend(
+                density_backend
+            )
         if fault_policy is not None:
             params["fault_policy"] = str(
                 getattr(fault_policy, "mode", fault_policy)

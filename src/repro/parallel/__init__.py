@@ -37,16 +37,28 @@ from repro.parallel.backend import (
     use_n_jobs,
 )
 from repro.parallel.map import parallel_map_chunks
+from repro.parallel.shm import (
+    SHM_DIR_ENV,
+    SharedArray,
+    SharedChunks,
+    resolve_chunk,
+    shm_dir,
+)
 
 __all__ = [
     "BACKEND_ENV",
     "N_JOBS_ENV",
+    "SHM_DIR_ENV",
     "ExecutionBackend",
     "ProcessBackend",
     "SerialBackend",
+    "SharedArray",
+    "SharedChunks",
     "ThreadBackend",
     "get_backend",
     "parallel_map_chunks",
+    "resolve_chunk",
     "resolve_n_jobs",
+    "shm_dir",
     "use_n_jobs",
 ]

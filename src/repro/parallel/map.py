@@ -41,6 +41,7 @@ from typing import Callable, Iterable, TypeVar
 from repro.faults.policy import RowQuarantine, get_fault_policy, use_fault_policy
 from repro.obs import Recorder, get_recorder, use_recorder
 from repro.parallel.backend import get_backend, use_n_jobs
+from repro.parallel.shm import SharedChunks, resolve_chunk
 
 __all__ = ["parallel_map_chunks"]
 
@@ -64,6 +65,9 @@ def _run_task(
     (``index % n_workers``) — and its serialised histograms.
     """
     index, item = indexed_item
+    # Shared-memory handles (process backend) map their segment here;
+    # plain chunks pass through untouched.
+    item = resolve_chunk(item)
     recorder = Recorder()
     with use_n_jobs(1), use_recorder(recorder), use_fault_policy(policy):
         if collect:
@@ -118,12 +122,22 @@ def parallel_map_chunks(
     """
     ambient = get_recorder()
     engine = get_backend(n_jobs, backend)
-    pairs = engine.map(
-        partial(
-            _run_task, func, get_fault_policy(), ambient.enabled, engine.n_jobs
-        ),
-        list(enumerate(chunks)),
-    )
+    # With the process backend, park large ndarray chunks in shared
+    # memory so workers map them instead of unpickling a copy; the
+    # segments are unlinked as soon as the fan-in completes. Thread and
+    # serial backends already share address space, so sharing is
+    # skipped (`enabled=False` hands back the original chunks).
+    with SharedChunks(chunks, enabled=engine.kind == "process") as shared:
+        pairs = engine.map(
+            partial(
+                _run_task,
+                func,
+                get_fault_policy(),
+                ambient.enabled,
+                engine.n_jobs,
+            ),
+            list(enumerate(shared.items)),
+        )
     merged: dict[str, float] = {}
     for _, state in pairs:
         for name, value in state["counters"].items():

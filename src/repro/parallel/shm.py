@@ -1,0 +1,196 @@
+"""Zero-copy chunk shipping for the process backend.
+
+The process backend pickles every task — for chunk maps that means
+every dataset chunk crosses the pool pipe twice (once serialised by the
+coordinator, once deserialised by the worker). For the hot evaluation
+passes the chunk bytes dominate that cost, so this module ships large
+ndarray chunks through shared memory instead:
+
+* the coordinator writes each chunk once into a file under a
+  memory-backed directory (``/dev/shm`` on Linux), producing a tiny
+  picklable :class:`SharedArray` handle (path, dtype, shape);
+* workers ``np.memmap`` the file read-only — the kernel shares the
+  pages, no bytes are copied or pickled per task;
+* the coordinator owns the lifecycle: :class:`SharedChunks` unlinks
+  every segment when the map finishes, so a crashed or killed worker
+  can never leak a segment (an unlinked inode disappears as soon as
+  the last surviving mapping goes away).
+
+When no usable shared-memory directory exists (``/dev/shm`` missing or
+read-only, e.g. in a restricted container), :class:`SharedChunks`
+degrades to handing back the original chunks, which the backend then
+pickles exactly as before — behaviour, results and ordering are
+identical either way.
+
+The ``REPRO_SHM_DIR`` environment variable overrides the segment
+directory (point it at a tmpfs mount, or at a non-existent path to
+force the pickling fallback).
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import tempfile
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "SHM_DIR_ENV",
+    "SharedArray",
+    "SharedChunks",
+    "resolve_chunk",
+    "shm_dir",
+]
+
+#: Environment variable overriding the shared-segment directory.
+SHM_DIR_ENV = "REPRO_SHM_DIR"
+
+_DEFAULT_SHM_DIR = "/dev/shm"
+
+#: Ship a chunk through shared memory only above this many bytes:
+#: below it, pickling through the pool pipe is cheaper than a file
+#: round-trip.
+_MIN_SHARED_BYTES = 1 << 16
+
+_segment_ids = itertools.count()
+
+
+def shm_dir() -> str | None:
+    """The usable shared-segment directory, or ``None`` for fallback.
+
+    Honours ``REPRO_SHM_DIR`` first, then ``/dev/shm``; a directory
+    qualifies only if it exists and is writable.
+    """
+    path = os.environ.get(SHM_DIR_ENV, "").strip() or _DEFAULT_SHM_DIR
+    if os.path.isdir(path) and os.access(path, os.W_OK):
+        return path
+    return None
+
+
+@dataclass(frozen=True)
+class SharedArray:
+    """Picklable handle to an ndarray parked in a shared-memory file.
+
+    Only the handle (path string, dtype string, shape tuple) crosses
+    the process boundary; the array bytes stay in the kernel page
+    cache and are mapped, not copied, by :meth:`open`.
+    """
+
+    path: str
+    dtype: str
+    shape: tuple[int, ...]
+
+    @classmethod
+    def create(cls, array: np.ndarray, directory: str) -> "SharedArray":
+        """Park ``array`` in a new segment file under ``directory``.
+
+        The single coordinator-side copy happens here; the file is
+        created unreadable to other users (``tempfile.mkstemp``
+        semantics) and named so stray segments are attributable.
+        """
+        array = np.ascontiguousarray(array)
+        fd, path = tempfile.mkstemp(
+            prefix=f"repro-shm-{os.getpid()}-{next(_segment_ids)}-",
+            suffix=".bin",
+            dir=directory,
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(memoryview(array).cast("B"))
+        except BaseException:
+            os.unlink(path)
+            raise
+        return cls(path=path, dtype=array.dtype.str, shape=array.shape)
+
+    def open(self) -> np.ndarray:
+        """Map the segment read-only; no bytes are copied."""
+        return np.memmap(
+            self.path, dtype=np.dtype(self.dtype), mode="r", shape=self.shape
+        )
+
+    def unlink(self) -> None:
+        """Remove the segment file (idempotent)."""
+        try:
+            os.unlink(self.path)
+        except FileNotFoundError:
+            pass
+
+
+def resolve_chunk(item):
+    """Materialise a task input on the worker side.
+
+    :class:`SharedArray` handles map their segment; everything else —
+    plain chunks from the pickling fallback, task dataclasses, block
+    offsets — passes through untouched. Task functions therefore never
+    see the difference between the shared and pickled paths.
+    """
+    if isinstance(item, SharedArray):
+        return item.open()
+    return item
+
+
+class SharedChunks:
+    """Context manager parking eligible chunks in shared memory.
+
+    Inside the ``with`` block, :attr:`items` holds one entry per input
+    chunk: a :class:`SharedArray` handle where sharing applies (large
+    float/int ndarray, usable segment directory), the original object
+    otherwise. On exit every segment is unlinked — workers that still
+    hold a mapping keep reading the orphaned inode until they drop it,
+    so teardown can never race a slow worker, and a worker that died
+    mid-task leaves nothing behind for the coordinator to miss.
+
+    Parameters
+    ----------
+    chunks:
+        The ordered task inputs about to be fanned out.
+    enabled:
+        Master switch; pass ``False`` to skip sharing wholesale (the
+        thread and serial backends already share address space).
+    """
+
+    def __init__(self, chunks, enabled: bool = True) -> None:
+        self._chunks = list(chunks)
+        self._enabled = bool(enabled)
+        self._segments: list[SharedArray] = []
+        self.items: list = self._chunks
+
+    @staticmethod
+    def _eligible(chunk) -> bool:
+        return (
+            isinstance(chunk, np.ndarray)
+            and chunk.dtype.kind in "fiu"
+            and chunk.nbytes >= _MIN_SHARED_BYTES
+        )
+
+    def __enter__(self) -> "SharedChunks":
+        directory = shm_dir() if self._enabled else None
+        if directory is None:
+            return self
+        items: list = []
+        try:
+            for chunk in self._chunks:
+                if self._eligible(chunk):
+                    segment = SharedArray.create(chunk, directory)
+                    self._segments.append(segment)
+                    items.append(segment)
+                else:
+                    items.append(chunk)
+        except OSError:
+            # Directory filled up or vanished mid-flight: release what
+            # was parked and fall back to pickling everything.
+            self._release()
+            return self
+        self.items = items
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._release()
+
+    def _release(self) -> None:
+        for segment in self._segments:
+            segment.unlink()
+        self._segments = []
+        self.items = self._chunks

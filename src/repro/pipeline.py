@@ -23,6 +23,7 @@ from repro.clustering.base import Clusterer, ClusteringResult
 from repro.clustering.cure import CureClustering
 from repro.core.biased import BiasedSample
 from repro.core.guide import recommend_settings
+from repro.density.backends import use_density_backend
 from repro.exceptions import ParameterError
 from repro.faults import use_fault_policy
 from repro.obs import Recorder, get_recorder, use_recorder
@@ -82,6 +83,12 @@ class ApproximateClusteringPipeline:
         ``"representatives"`` (CURE's rule, default) or ``"centers"``.
     random_state:
         Seed for the default sampler.
+    density_backend:
+        Density-estimator family for the default sampler (``"kde"``,
+        ``"tree"``); ``None`` leaves the ambient default /
+        ``REPRO_DENSITY_BACKEND`` resolution in place (see
+        :mod:`repro.density.backends`). Ignored when an explicit
+        ``sampler`` is supplied.
     n_jobs:
         Worker count installed as the ambient default for the whole
         fit (sampling, clustering, assignment); ``None`` leaves the
@@ -121,6 +128,7 @@ class ApproximateClusteringPipeline:
         clusterer: Clusterer | None = None,
         assignment_policy: str = "representatives",
         random_state=None,
+        density_backend: str | None = None,
         n_jobs: int | None = None,
         fault_policy=None,
     ) -> None:
@@ -133,6 +141,7 @@ class ApproximateClusteringPipeline:
         self.clusterer = clusterer
         self.assignment_policy = assignment_policy
         self.random_state = random_state
+        self.density_backend = density_backend
         self.n_jobs = n_jobs
         self.fault_policy = fault_policy
 
@@ -157,7 +166,14 @@ class ApproximateClusteringPipeline:
             if self.fault_policy is not None
             else nullcontext()
         )
-        with use_recorder(recorder), jobs_context, policy_context:
+        backend_context = (
+            use_density_backend(self.density_backend)
+            if self.density_backend is not None
+            else nullcontext()
+        )
+        with use_recorder(recorder), jobs_context, policy_context, (
+            backend_context
+        ):
             # The stream is built inside the contexts so a plain array
             # binds the pipeline's fault policy and its construction-time
             # quarantine counts land on this recorder.

@@ -16,9 +16,11 @@ environment variable (:func:`resolve_shards`).
 
 from repro.sharding.context import SHARDS_ENV, resolve_shards, use_shards
 from repro.sharding.partials import (
+    BoundsShard,
     GatherShard,
     NormalizerShard,
     ShardFitState,
+    TreeCountShard,
     merge_partials,
 )
 from repro.sharding.plan import ShardPlan, ShardSpec, ShardView
@@ -26,10 +28,12 @@ from repro.sharding.runner import (
     SHARD_EVAL_PHASE,
     SHARD_FIT_PHASE,
     SHARD_GATHER_PHASE,
+    bounds_shards,
     eval_shards,
     fit_shards,
     shard_map,
     sharded_gather,
+    tree_count_shards,
 )
 
 __all__ = [
@@ -37,17 +41,21 @@ __all__ = [
     "SHARD_FIT_PHASE",
     "SHARD_GATHER_PHASE",
     "SHARDS_ENV",
+    "BoundsShard",
     "GatherShard",
     "NormalizerShard",
     "ShardFitState",
     "ShardPlan",
     "ShardSpec",
     "ShardView",
+    "TreeCountShard",
+    "bounds_shards",
     "eval_shards",
     "fit_shards",
     "merge_partials",
     "resolve_shards",
     "shard_map",
     "sharded_gather",
+    "tree_count_shards",
     "use_shards",
 ]

@@ -9,7 +9,10 @@ each partial carries its data in stream order and ``merge`` is
 order-preserving concatenation, not commutative aggregation. Floating
 point is not associative, so no partial pre-reduces across chunks:
 reductions (Welford moment folds, normaliser sums) happen once, on the
-coordinator, in global chunk order.
+coordinator, in global chunk order. The two *exact* algebras are the
+sanctioned exception — elementwise min/max (:class:`BoundsShard`) and
+integer addition (:class:`TreeCountShard`) are associative bit for
+bit, so those partials may pre-reduce and merge commutatively.
 
 Memory: O(shard output) per partial — chunk moment statistics are one
 ``(count, mean, m2)`` triple per chunk, fetched reservoir rows are
@@ -23,9 +26,11 @@ from dataclasses import dataclass, field
 import numpy as np
 
 __all__ = [
+    "BoundsShard",
     "GatherShard",
     "NormalizerShard",
     "ShardFitState",
+    "TreeCountShard",
     "merge_partials",
 ]
 
@@ -128,6 +133,75 @@ class GatherShard:
     def merge(self, other: "GatherShard") -> "GatherShard":
         """Left-fold combiner: append ``other``'s rows after this one."""
         self.parts.extend(other.parts)
+        self.seen += other.seen
+        return self
+
+
+@dataclass
+class BoundsShard:
+    """Partial bounding-box state from one shard of a box-finding scan.
+
+    Elementwise min/max is exactly associative and commutative, so —
+    unlike the FP folds above — this partial may pre-reduce across its
+    own chunks: the fold over shards still equals the serial
+    ``MinMaxScaler.partial_fit`` chain bit for bit.
+    """
+
+    mins: np.ndarray | None = None
+    maxs: np.ndarray | None = None
+    seen: int = 0
+
+    def observe_chunk(self, chunk: np.ndarray) -> None:
+        """Fold one chunk's extrema into the shard's running box."""
+        self.seen += int(chunk.shape[0])
+        lo = chunk.min(axis=0)
+        hi = chunk.max(axis=0)
+        if self.mins is None:
+            self.mins, self.maxs = lo, hi
+        else:
+            self.mins = np.minimum(self.mins, lo)
+            self.maxs = np.maximum(self.maxs, hi)
+
+    def merge(self, other: "BoundsShard") -> "BoundsShard":
+        """Left-fold combiner: join the two boxes (exact)."""
+        if other.mins is not None:
+            if self.mins is None:
+                self.mins, self.maxs = other.mins, other.maxs
+            else:
+                self.mins = np.minimum(self.mins, other.mins)
+                self.maxs = np.maximum(self.maxs, other.maxs)
+        self.seen += other.seen
+        return self
+
+
+@dataclass
+class TreeCountShard:
+    """Partial leaf-occupancy counts from one shard of a tree count scan.
+
+    ``counts`` is the ``(n_trees, n_leaves)`` integer occupancy table of
+    one row range. Integer addition is exactly associative, so the fold
+    over shards equals the serial counting scan bit for bit — no
+    coordinator-side replay is needed (contrast ``ShardFitState``).
+    """
+
+    counts: np.ndarray | None = None
+    seen: int = 0
+
+    def add_counts(self, chunk_counts: np.ndarray, rows: int) -> None:
+        """Fold one chunk's integer leaf counts into the shard total."""
+        self.seen += int(rows)
+        if self.counts is None:
+            self.counts = np.asarray(chunk_counts, dtype=np.int64)
+        else:
+            self.counts = self.counts + chunk_counts
+
+    def merge(self, other: "TreeCountShard") -> "TreeCountShard":
+        """Left-fold combiner: add the occupancy tables (exact)."""
+        if other.counts is not None:
+            if self.counts is None:
+                self.counts = other.counts
+            else:
+                self.counts = self.counts + other.counts
         self.seen += other.seen
         return self
 

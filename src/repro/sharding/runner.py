@@ -30,9 +30,11 @@ from repro.obs import get_recorder
 from repro.parallel import parallel_map_chunks
 from repro.sharding.context import resolve_shards
 from repro.sharding.partials import (
+    BoundsShard,
     GatherShard,
     NormalizerShard,
     ShardFitState,
+    TreeCountShard,
     merge_partials,
 )
 from repro.sharding.plan import ShardPlan, ShardView
@@ -41,10 +43,12 @@ __all__ = [
     "SHARD_EVAL_PHASE",
     "SHARD_FIT_PHASE",
     "SHARD_GATHER_PHASE",
+    "bounds_shards",
     "eval_shards",
     "fit_shards",
     "shard_map",
     "sharded_gather",
+    "tree_count_shards",
 ]
 
 #: Span labels for the three sharded scan kinds. They are module
@@ -149,6 +153,84 @@ def fit_shards(plan: ShardPlan, wanted_indices, *, n_jobs=None) -> ShardFitState
     get_recorder().count("shards_fitted", len(tasks))
     partials = shard_map(
         _fit_shard_worker, tasks, n_jobs=n_jobs, phase=SHARD_FIT_PHASE
+    )
+    return merge_partials(partials)
+
+
+@dataclass(frozen=True)
+class _BoundsTask:
+    """One shard of a bounding-box scan."""
+
+    view: ShardView
+
+
+@dataclass(frozen=True)
+class _TreeCountTask:
+    """One shard of a tree leaf-counting scan.
+
+    Carries the coordinator-built forest structure (heap-order split
+    attributes and thresholds) so workers can route rows without any
+    generator state of their own.
+    """
+
+    view: ShardView
+    features: np.ndarray
+    thresholds: np.ndarray
+
+
+def _bounds_shard_worker(task: _BoundsTask) -> BoundsShard:
+    """Per-shard bounding box. Min/max is exact, so pre-reducing across
+    the shard's chunks is byte-identical to the serial scaler chain."""
+    shard = BoundsShard()
+    for _offset, chunk in task.view.chunks():
+        shard.observe_chunk(chunk)
+    return shard
+
+
+def bounds_shards(plan: ShardPlan, *, n_jobs=None) -> BoundsShard:
+    """Run one sharded bounding-box scan and fold the shard partials."""
+    _begin_scan(plan)
+    tasks = [_BoundsTask(view=view) for view in plan.views()]
+    partials = shard_map(
+        _bounds_shard_worker, tasks, n_jobs=n_jobs, phase=SHARD_FIT_PHASE
+    )
+    return merge_partials(partials)
+
+
+def _tree_count_worker(task: _TreeCountTask) -> TreeCountShard:
+    """Per-shard integer leaf-occupancy counts (exactly mergeable)."""
+    from repro.density.tree import tree_leaf_indices
+
+    n_trees = task.features.shape[0]
+    n_leaves = task.features.shape[1] + 1
+    offsets = (np.arange(n_trees) * n_leaves)[:, None]
+    shard = TreeCountShard()
+    for _offset, chunk in task.view.chunks():
+        leaves = tree_leaf_indices(chunk, task.features, task.thresholds)
+        flat = np.bincount(
+            (offsets + leaves).ravel(), minlength=n_trees * n_leaves
+        )
+        shard.add_counts(flat.reshape(n_trees, n_leaves), chunk.shape[0])
+    return shard
+
+
+def tree_count_shards(
+    plan: ShardPlan, features, thresholds, *, n_jobs=None
+) -> TreeCountShard:
+    """Run one sharded tree-counting scan and fold the shard partials.
+
+    ``features`` / ``thresholds`` are the coordinator-built forest
+    (all randomness stayed there); each shard counts its own row range
+    and the integer tables fold exactly.
+    """
+    _begin_scan(plan)
+    tasks = [
+        _TreeCountTask(view=view, features=features, thresholds=thresholds)
+        for view in plan.views()
+    ]
+    get_recorder().count("shards_fitted", len(tasks))
+    partials = shard_map(
+        _tree_count_worker, tasks, n_jobs=n_jobs, phase=SHARD_FIT_PHASE
     )
     return merge_partials(partials)
 

@@ -10,14 +10,14 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 if str(REPO_ROOT) not in sys.path:
     sys.path.insert(0, str(REPO_ROOT))
 
-from tools.bench_gate import calibrate, load_means, main  # noqa: E402
+from tools.bench_gate import calibrate, load_medians, main  # noqa: E402
 
 
-def _bench_json(path: Path, means: dict[str, float], **extra) -> Path:
+def _bench_json(path: Path, medians: dict[str, float], **extra) -> Path:
     payload = {
         "benchmarks": [
-            {"name": name, "stats": {"mean": mean}}
-            for name, mean in means.items()
+            {"name": name, "stats": {"median": median}}
+            for name, median in medians.items()
         ],
         **extra,
     }
@@ -26,9 +26,9 @@ def _bench_json(path: Path, means: dict[str, float], **extra) -> Path:
 
 
 class TestBenchGate:
-    def test_load_means(self, tmp_path):
+    def test_load_medians(self, tmp_path):
         path = _bench_json(tmp_path / "b.json", {"test_a": 0.5, "test_b": 1.0})
-        assert load_means(path) == {"test_a": 0.5, "test_b": 1.0}
+        assert load_medians(path) == {"test_a": 0.5, "test_b": 1.0}
 
     def test_calibration_is_positive_and_repeatable_order(self):
         first, second = calibrate(rounds=2), calibrate(rounds=2)
@@ -96,4 +96,4 @@ class TestBenchGate:
             (REPO_ROOT / "benchmarks" / "BENCH_micro.json").read_text()
         )
         assert payload["calibration_seconds"] > 0
-        assert load_means(REPO_ROOT / "benchmarks" / "BENCH_micro.json")
+        assert load_medians(REPO_ROOT / "benchmarks" / "BENCH_micro.json")

@@ -15,6 +15,7 @@ from repro.density import (
     GridDensityEstimator,
     KernelDensityEstimator,
     KnnDensityEstimator,
+    TreeDensityEstimator,
     WaveletDensityEstimator,
 )
 
@@ -42,6 +43,11 @@ BACKENDS = [
         lambda: DctDensityEstimator(bins_per_dim=16, n_coefficients=256),
         0.25,
         id="dct",
+    ),
+    pytest.param(
+        lambda: TreeDensityEstimator(random_state=0),
+        0.25,
+        id="tree",
     ),
 ]
 

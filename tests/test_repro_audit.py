@@ -1263,6 +1263,13 @@ class TestSrcRepro:
             None: 1
         }
 
+    def test_tree_fit_is_two_scans(self, src_graph):
+        # Bounds pass + counting pass, exactly as the estimator's
+        # docstring declares (and RA001 cross-checks).
+        assert entry_pass_counts(src_graph, "TreeDensityEstimator") == {
+            None: 2
+        }
+
     def test_one_pass_sampler_fit_state_is_b_plus_m(self, src_graph):
         # The paper's memory claim, proven statically: the fit phases of
         # OnePassBiasedSampler.sample() allocate only O(b + m) state —
@@ -1297,6 +1304,7 @@ class TestSrcRepro:
             "KnnDensityEstimator",
             "DctDensityEstimator",
             "WaveletDensityEstimator",
+            "TreeDensityEstimator",
         ):
             bounds = entry_space_bounds(src_graph, cls)
             assert max(bounds.values()) == M, cls

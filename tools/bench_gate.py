@@ -6,8 +6,9 @@ Compares a fresh pytest-benchmark JSON run of
 comparison is *calibration-normalised*: both the baseline (at
 ``--write-baseline`` time) and the gate (at check time) time the same
 fixed numpy workload, and each benchmark's budget is scaled by the
-ratio of the two calibrations before comparing means. A benchmark fails
-the gate when its normalised mean exceeds ``BUDGET`` (2x) of the
+ratio of the two calibrations before comparing medians (robust to a
+stray slow round in a way the mean is not). A benchmark fails the
+gate when its normalised median exceeds ``BUDGET`` (2x) of the
 baseline — generous enough to absorb scheduler noise, tight enough to
 catch an accidental quadratic (the RA006 pathologies are 10x+ at these
 sizes).
@@ -39,7 +40,7 @@ from pathlib import Path
 
 import numpy as np
 
-__all__ = ["calibrate", "load_means", "main"]
+__all__ = ["calibrate", "load_medians", "main"]
 
 #: Allowed slowdown factor per benchmark after calibration scaling.
 BUDGET = 2.0
@@ -74,11 +75,11 @@ def calibrate(rounds: int = 5) -> float:
     return best
 
 
-def load_means(path: Path) -> dict[str, float]:
-    """``{benchmark name: mean seconds}`` from a pytest-benchmark JSON."""
+def load_medians(path: Path) -> dict[str, float]:
+    """``{benchmark name: median seconds}`` from a pytest-benchmark JSON."""
     payload = json.loads(path.read_text(encoding="utf-8"))
     return {
-        bench["name"]: float(bench["stats"]["mean"])
+        bench["name"]: float(bench["stats"]["median"])
         for bench in payload.get("benchmarks", [])
     }
 
@@ -129,23 +130,23 @@ def main(argv: list[str] | None = None) -> int:
     # >1 means this machine is slower than the recording machine, so
     # budgets stretch proportionally.
     speed = now_cal / float(base_cal)
-    baseline_means = load_means(args.baseline)
-    current_means = load_means(args.current_json)
+    baseline_medians = load_medians(args.baseline)
+    current_medians = load_medians(args.current_json)
 
     failures: list[str] = []
-    for name, base_mean in sorted(baseline_means.items()):
-        current = current_means.get(name)
+    for name, base_median in sorted(baseline_medians.items()):
+        current = current_medians.get(name)
         if current is None:
             print(f"bench gate: FAIL {name}: missing from the current run")
             failures.append(f"{name}: missing from the current run")
             continue
         budget = max(
-            base_mean * speed * BUDGET, MIN_COMPARABLE_SECONDS
+            base_median * speed * BUDGET, MIN_COMPARABLE_SECONDS
         )
         verdict = "FAIL" if current > budget else "ok"
         print(
             f"bench gate: {verdict} {name}: {current:.4f}s vs budget "
-            f"{budget:.4f}s (baseline {base_mean:.4f}s x speed "
+            f"{budget:.4f}s (baseline {base_median:.4f}s x speed "
             f"{speed:.2f} x {BUDGET})"
         )
         if current > budget:
@@ -156,7 +157,7 @@ def main(argv: list[str] | None = None) -> int:
         print(f"bench gate: FAIL — {len(failures)} regression(s).")
         return 1
     print(
-        f"bench gate: OK — {len(baseline_means)} benchmark(s) within "
+        f"bench gate: OK — {len(baseline_medians)} benchmark(s) within "
         f"the {BUDGET}x calibrated budget."
     )
     return 0

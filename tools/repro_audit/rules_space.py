@@ -149,6 +149,10 @@ M_EXTENT_NAMES = frozenset(
         "n_clusters",
         "n_mc",
         "branching_factor",
+        "n_trees",
+        "max_depth",
+        "n_leaves",
+        "n_leaves_",
     }
 )
 
