@@ -1,0 +1,31 @@
+# Convenience targets mirroring the CI gates. `make lint` runs every
+# static analyser (ruff + repro-lint + the whole-program repro-audit);
+# `make test` runs the tier-1 suite. PYTHON can be overridden, e.g.
+# `make lint PYTHON=python3.12`.
+
+PYTHON ?= python
+
+.PHONY: lint ruff repro-lint repro-audit test audit-baseline
+
+lint: ruff repro-lint repro-audit
+
+ruff:
+	@if command -v ruff >/dev/null 2>&1; then \
+	    ruff check src tools tests; \
+	else \
+	    echo "ruff not installed; skipping (the CI ruff job still gates)"; \
+	fi
+
+repro-lint:
+	$(PYTHON) -m tools.repro_lint src tools benchmarks
+
+repro-audit:
+	$(PYTHON) -m tools.repro_audit src/repro tools benchmarks
+
+# Refresh the accepted-findings baseline after a deliberate contract
+# change (review the diff of tools/repro_audit/baseline.txt!).
+audit-baseline:
+	$(PYTHON) -m tools.repro_audit src/repro tools benchmarks --write-baseline
+
+test:
+	PYTHONPATH=src $(PYTHON) -m pytest -x -q

@@ -35,8 +35,9 @@ merge back like every other counter.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from functools import partial
-from typing import Callable, Iterable, TypeVar
+from typing import Callable, Iterable, Iterator, TypeVar
 
 from repro.faults.policy import RowQuarantine, get_fault_policy, use_fault_policy
 from repro.obs import Recorder, get_recorder, use_recorder
@@ -47,6 +48,25 @@ __all__ = ["parallel_map_chunks"]
 
 _T = TypeVar("_T")
 _R = TypeVar("_R")
+
+
+@contextmanager
+def _worker_context(
+    policy: RowQuarantine, recorder: Recorder
+) -> Iterator[None]:
+    """Install the worker-local ambient context; always restore priors.
+
+    One task's context must never outlive the task: under the serial
+    and thread backends the installing thread is (or shares state with)
+    the coordinator, and under the process backend the worker process
+    is reused for the next task. Every installer below is token-based
+    (``ContextVar.set`` returning a reset token, reset in a
+    ``finally``), so the prior recorder / fault policy / worker-count
+    default are restored even when the task raises — the exact
+    coordinator-visible-state leak RA009 flags for non-harness code.
+    """
+    with use_n_jobs(1), use_recorder(recorder), use_fault_policy(policy):
+        yield
 
 
 def _run_task(
@@ -69,7 +89,7 @@ def _run_task(
     # plain chunks pass through untouched.
     item = resolve_chunk(item)
     recorder = Recorder()
-    with use_n_jobs(1), use_recorder(recorder), use_fault_policy(policy):
+    with _worker_context(policy, recorder):
         if collect:
             with recorder.phase(
                 "worker_task", worker=index % max(1, n_workers), chunk=index

@@ -250,3 +250,66 @@ class TestNJobsEquivalence:
             sample_size=300, exponent=1.0, random_state=1
         ).sample(blob_data)
         np.testing.assert_array_equal(serial.indices, parallel.indices)
+
+
+class TestWorkerContextRestore:
+    """A task's worker-local context must never outlive the task.
+
+    ``_run_task`` installs the captured fault policy, a private
+    recorder and ``n_jobs=1``; all three installations are token-based
+    and reset in a ``finally``, so the coordinator's ambient context is
+    restored even when the task raises (regression: a leaked context
+    would make the thread/serial backends observe worker state after
+    the fan-in).
+    """
+
+    def _ambient(self):
+        from repro.faults.policy import get_fault_policy
+
+        return (get_recorder(), get_fault_policy(), resolve_n_jobs())
+
+    def test_run_task_restores_ambient_context(self, clean_env):
+        from repro.faults.policy import RowQuarantine, use_fault_policy
+        from repro.parallel.map import _run_task
+
+        outer = Recorder()
+        policy = RowQuarantine("strict")
+        with use_recorder(outer), use_fault_policy(policy), use_n_jobs(3):
+            before = self._ambient()
+            result, state = _run_task(
+                lambda chunk: chunk * 2, RowQuarantine("quarantine"), False, 1, (0, 21)
+            )
+            assert result == 42
+            assert self._ambient() == before
+            assert get_recorder() is outer
+
+    def test_run_task_restores_context_when_task_raises(self, clean_env):
+        from repro.faults.policy import RowQuarantine, use_fault_policy
+        from repro.parallel.map import _run_task
+
+        outer = Recorder()
+        policy = RowQuarantine("strict")
+
+        def explode(chunk):
+            raise RuntimeError("task failure")
+
+        with use_recorder(outer), use_fault_policy(policy), use_n_jobs(3):
+            before = self._ambient()
+            with pytest.raises(RuntimeError, match="task failure"):
+                _run_task(explode, RowQuarantine("quarantine"), False, 1, (0, 1))
+            assert self._ambient() == before
+            assert get_recorder() is outer
+
+    def test_failed_fan_out_leaves_callers_context(self, clean_env):
+        outer = Recorder()
+
+        def explode(chunk):
+            raise ValueError("poison chunk")
+
+        with use_recorder(outer):
+            with pytest.raises(ValueError, match="poison chunk"):
+                parallel_map_chunks(
+                    explode, [1, 2, 3], n_jobs=2, backend="thread"
+                )
+            assert get_recorder() is outer
+            assert resolve_n_jobs() == 1

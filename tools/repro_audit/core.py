@@ -32,6 +32,18 @@ runs flow-sensitive contract checks on top of it:
 * ``RA007`` — merge-safety audit: worker-mutated per-shard state needs
   a called merge-style combiner, and worker counters must round-trip
   through the harness's dynamic re-emission loop.
+* ``RA009`` — shared-state race audit: per-function effect summaries
+  prove dispatched workers never write coordinator-visible state
+  (globals, closures, mutable defaults, shipped objects, read-only
+  shared views) outside the RA007 merge channel.
+* ``RA010`` — RNG consumption-order prover: every generator draw
+  reachable from a ``fit``/``draw``/``plan``/``sample`` entry point
+  executes on the coordinator, never under order-nondeterministic
+  iteration, and serial/sharded branch pairs draw identically.
+* ``RA011`` — must-release lifecycle audit: every shm/tempfile/file
+  handle/memmap acquire is released on all CFG paths (exception edges
+  included, via :func:`tools.astkit.build_cfg`) or ownership-transferred
+  to a releasing owner.
 
 Every finding carries a call-graph "why" trace: the chain of calls
 from the audited entry point (or dispatch/try site) to the offending
@@ -186,9 +198,12 @@ def _load_rules() -> None:
         rules_counters,
         rules_exceptions,
         rules_histograms,
+        rules_lifecycle,
         rules_merge,
         rules_parallel,
         rules_passes,
+        rules_races,
+        rules_rng,
         rules_space,
     )
 

@@ -34,7 +34,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Iterator
 
-from tools.astkit import ModuleInfo, ProjectModel
+from tools.astkit import ControlFlowGraph, ModuleInfo, ProjectModel, build_cfg
 
 __all__ = [
     "CallGraph",
@@ -179,6 +179,7 @@ class CallGraph:
         # per rule are memoized here.
         self._local_types_cache: dict[tuple[int, int], dict[str, ClassNode]] = {}
         self._calls_cache: dict[int, tuple[ast.Call, ...]] = {}
+        self._cfg_cache: dict[int, ControlFlowGraph] = {}
         self._dispatch_sites: list[tuple[FuncNode, ast.Call]] | None = None
         self._index()
 
@@ -480,6 +481,18 @@ class CallGraph:
         )
         self._calls_cache[id(func.node)] = calls
         return calls
+
+    def cfg_of(self, func: FuncNode) -> ControlFlowGraph:
+        """The per-function control-flow graph, memoized per def node.
+
+        Flow-sensitive rules (RA011 must-release, future ordering
+        proofs) share one CFG per function across the whole run.
+        """
+        cached = self._cfg_cache.get(id(func.node))
+        if cached is None:
+            cached = build_cfg(func.node)
+            self._cfg_cache[id(func.node)] = cached
+        return cached
 
     def dispatch_sites(self) -> list[tuple[FuncNode, ast.Call]]:
         """Every ``repro.parallel`` fan-out call site in the project.

@@ -1,0 +1,336 @@
+"""RA011 — must-release lifecycle audit for acquired resources.
+
+A shared-memory segment that is never unlinked outlives the run as a
+file in ``/dev/shm`` (or the tempdir); a temp file or raw file handle
+that is never closed leaks a descriptor per chunk. The shm layer's
+contract is *coordinator ownership*: ``SharedChunks`` creates segments
+in ``__enter__`` and its ``__exit__``/``_release`` unlinks every one —
+workers only ever map and never own. This rule proves the release
+half of that contract on the per-function CFG
+(:func:`tools.astkit.build_cfg`): for every *acquire site* — an
+assignment whose value is a bare ``open``/``os.fdopen``/
+``tempfile.mkstemp``/``mkdtemp``/``NamedTemporaryFile``/
+``np.memmap``/``SharedArray.create`` call — every CFG path from the
+acquire to the function exit, *including exception edges*, must cross
+a release (``.close()``/``.unlink()``/``.release()``/``.cleanup()``/
+``os.close``/``os.unlink``/``os.remove``/``shutil.rmtree``) of that
+resource.
+
+Exceptions raised *at* the acquire statement itself are not leak
+paths — the CFG terminates a block at its may-raise statement, so the
+acquire block's exception edges describe the acquire failing before
+any resource exists; the query starts from its normal successors.
+
+Ownership-transfer escapes are exempt (the resource's lifecycle
+continues elsewhere, beyond one function's CFG):
+
+* returned or yielded, or aliased into another local / a container;
+* passed as an argument to a non-release call (``os.fdopen(fd)``,
+  ``cls(path=path)`` — the callee or constructed object owns it);
+* parked on ``self`` — sanctioned only when the owning class declares
+  a release method (``close``/``__exit__``/``__del__``/``release``/
+  ``_release``/``cleanup``/``unlink``), the ``SharedChunks`` shape;
+  a park on a class with no release method is flagged.
+
+``with``-managed acquires are inherently released and never flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from tools.repro_audit.core import AuditRule, Finding, register
+from tools.repro_audit.graph import CallGraph, FuncNode, attr_chain
+
+__all__ = ["LifecycleAudit", "ACQUIRE_TAILS"]
+
+#: Call-name tails that acquire a releasable resource when assigned.
+ACQUIRE_TAILS = frozenset(
+    {
+        "open",
+        "fdopen",
+        "mkstemp",
+        "mkdtemp",
+        "NamedTemporaryFile",
+        "TemporaryFile",
+        "memmap",
+    }
+)
+
+#: ``<receiver>.<method>()`` method tails releasing their receiver.
+_RELEASE_METHODS = frozenset(
+    {"close", "unlink", "release", "cleanup", "terminate", "__exit__"}
+)
+
+#: ``f(resource)`` function tails releasing their argument.
+_RELEASE_FUNCS = frozenset({"close", "unlink", "remove", "rmtree"})
+
+#: Methods whose presence on a class sanctions parking a resource on self.
+_OWNER_RELEASE_METHODS = frozenset(
+    {
+        "close",
+        "__exit__",
+        "__aexit__",
+        "__del__",
+        "release",
+        "_release",
+        "cleanup",
+        "unlink",
+    }
+)
+
+
+def _shallow_walk(root: ast.AST) -> Iterator[ast.AST]:
+    """``ast.walk`` that does not descend into nested defs/lambdas."""
+    stack: list[ast.AST] = [root]
+    while stack:
+        node = stack.pop()
+        yield node
+        for child in ast.iter_child_nodes(node):
+            if isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                continue
+            stack.append(child)
+
+
+def _acquire_call(call: ast.Call) -> str | None:
+    """The acquire kind of a call, or None."""
+    chain = attr_chain(call.func)
+    if not chain:
+        return None
+    if chain[-1] in ACQUIRE_TAILS:
+        return chain[-1]
+    if chain[-1] == "create" and len(chain) >= 2 and chain[-2] == "SharedArray":
+        return "SharedArray.create"
+    return None
+
+
+def _escaping_ref(expr: ast.expr | None, name: str) -> bool:
+    """Whether ``expr`` passes the resource *object* along.
+
+    True only when the bare name flows into the expression value —
+    directly, through container literals, conditionals or walruses.
+    ``f.read()`` references ``f`` but yields data, not the handle, so
+    call results and attribute loads do not count.
+    """
+    if expr is None:
+        return False
+    if isinstance(expr, ast.Name):
+        return expr.id == name
+    if isinstance(expr, (ast.Tuple, ast.List, ast.Set)):
+        return any(_escaping_ref(e, name) for e in expr.elts)
+    if isinstance(expr, ast.Dict):
+        values = list(expr.keys) + list(expr.values)
+        return any(v is not None and _escaping_ref(v, name) for v in values)
+    if isinstance(expr, ast.Starred):
+        return _escaping_ref(expr.value, name)
+    if isinstance(expr, ast.IfExp):
+        return _escaping_ref(expr.body, name) or _escaping_ref(
+            expr.orelse, name
+        )
+    if isinstance(expr, (ast.NamedExpr, ast.Await)):
+        return _escaping_ref(expr.value, name)
+    return False
+
+
+def _is_release_stmt(stmt: ast.stmt, name: str) -> bool:
+    """Whether ``stmt`` releases the resource bound to ``name``."""
+    for node in _shallow_walk(stmt):
+        if not isinstance(node, ast.Call):
+            continue
+        chain = attr_chain(node.func)
+        if not chain:
+            continue
+        if (
+            len(chain) == 2
+            and chain[0] == name
+            and chain[1] in _RELEASE_METHODS
+        ):
+            return True
+        if chain[-1] in _RELEASE_FUNCS and any(
+            isinstance(arg, ast.Name) and arg.id == name for arg in node.args
+        ):
+            return True
+    return False
+
+
+@register
+class LifecycleAudit(AuditRule):
+    code = "RA011"
+    summary = (
+        "every shm/tempfile/file-handle/memmap acquire is released on "
+        "all CFG paths (exception edges included) or its ownership is "
+        "transferred to a releasing owner"
+    )
+
+    def check(self, graph: CallGraph) -> Iterator[Finding]:
+        for func in graph.iter_functions():
+            yield from self._check_function(graph, func)
+
+    # ------------------------------------------------------------------
+
+    def _check_function(
+        self, graph: CallGraph, func: FuncNode
+    ) -> Iterator[Finding]:
+        acquires = self._acquire_sites(func)
+        if not acquires:
+            return
+        cfg = None
+        for stmt, name, kind in acquires:
+            escape = self._escape_of(graph, func, stmt, name)
+            if escape == "owned":
+                continue
+            if escape is not None:
+                yield escape
+                continue
+            if cfg is None:
+                cfg = graph.cfg_of(func)
+            start = cfg.block_index(stmt)
+            if start is None:
+                continue  # inside a nested def: its own CFG's problem
+            barriers = {
+                block.index
+                for block in cfg.blocks
+                if any(_is_release_stmt(s, name) for s in block.statements)
+            }
+            if not barriers:
+                yield self.finding(
+                    func.module,
+                    stmt,
+                    f"{kind}(...) acquired as {name} in {func.qualname} "
+                    "is never closed/unlinked and never transferred — "
+                    "the resource leaks on every path",
+                    anchor=f"{func.qualname}:never-released:{name}",
+                    trace=(func.frame(stmt.lineno),),
+                )
+                continue
+            normal_leak = any(
+                succ not in barriers
+                and cfg.reaches_exit_avoiding(succ, barriers)
+                for succ in cfg.blocks[start].succs
+            )
+            if normal_leak:
+                yield self.finding(
+                    func.module,
+                    stmt,
+                    f"{kind}(...) acquired as {name} in {func.qualname} "
+                    "escapes the function on a path that skips its "
+                    "release (exception edges included) — releases must "
+                    "postdominate the acquire (try/finally or a "
+                    "catch-all handler)",
+                    anchor=f"{func.qualname}:leaky-path:{name}",
+                    trace=(func.frame(stmt.lineno),),
+                )
+
+    # ------------------------------------------------------------------
+    # Acquire-site discovery
+
+    @staticmethod
+    def _acquire_sites(
+        func: FuncNode,
+    ) -> list[tuple[ast.stmt, str, str]]:
+        """(statement, bound name, kind) per resource-acquiring assign.
+
+        A tuple target (``fd, path = mkstemp()``) yields one site per
+        bound name: each component is released independently.
+        """
+        sites: list[tuple[ast.stmt, str, str]] = []
+        for node in _shallow_walk(func.node):
+            if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+                continue
+            if not isinstance(node.value, ast.Call):
+                continue
+            kind = _acquire_call(node.value)
+            if kind is None:
+                continue
+            target = node.targets[0]
+            if isinstance(target, ast.Name):
+                sites.append((node, target.id, kind))
+            elif isinstance(target, ast.Tuple):
+                for element in target.elts:
+                    if isinstance(element, ast.Name):
+                        sites.append((node, element.id, kind))
+        return sites
+
+    # ------------------------------------------------------------------
+    # Escape analysis
+
+    def _escape_of(
+        self,
+        graph: CallGraph,
+        func: FuncNode,
+        acquire: ast.stmt,
+        name: str,
+    ) -> Finding | str | None:
+        """Ownership transfer of ``name``: "owned" when sanctioned, a
+        Finding for an unsanctioned self-park, None when the resource
+        stays function-local (must-release applies)."""
+        for node in _shallow_walk(func.node):
+            if node is acquire:
+                continue
+            if isinstance(node, (ast.Return, ast.Yield, ast.YieldFrom)):
+                if _escaping_ref(getattr(node, "value", None), name):
+                    return "owned"
+            if isinstance(node, ast.Call):
+                chain = attr_chain(node.func)
+                is_release = bool(chain) and (
+                    (
+                        len(chain) == 2
+                        and chain[0] == name
+                        and chain[1] in _RELEASE_METHODS
+                    )
+                    or chain[-1] in _RELEASE_FUNCS
+                )
+                if not is_release:
+                    args = list(node.args) + [kw.value for kw in node.keywords]
+                    if any(_escaping_ref(arg, name) for arg in args):
+                        return "owned"
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    park = self._self_park(graph, func, target, node, name)
+                    if park is not None:
+                        return park
+                if any(
+                    not isinstance(t, ast.Attribute)
+                    for t in node.targets
+                ) and _escaping_ref(node.value, name):
+                    # Aliased into another local or a container; the
+                    # alias carries the lifecycle from here on.
+                    return "owned"
+        return None
+
+    def _self_park(
+        self,
+        graph: CallGraph,
+        func: FuncNode,
+        target: ast.expr,
+        stmt: ast.Assign,
+        name: str,
+    ) -> Finding | str | None:
+        if not (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id in ("self", "cls")
+            and _escaping_ref(stmt.value, name)
+        ):
+            return None
+        owner = func.cls
+        if owner is not None and any(
+            method in node.own_methods
+            for node in graph.mro(owner)
+            for method in _OWNER_RELEASE_METHODS
+        ):
+            return "owned"
+        owner_name = owner.name if owner is not None else "<module>"
+        return self.finding(
+            func.module,
+            stmt,
+            f"resource {name} is parked on self.{target.attr} in "
+            f"{func.qualname} but {owner_name} declares no release "
+            f"method ({'/'.join(sorted(_OWNER_RELEASE_METHODS))}) — "
+            "the parked resource can never be released",
+            anchor=f"{func.qualname}:unreleased-park:{target.attr}",
+            trace=(func.frame(stmt.lineno),),
+        )

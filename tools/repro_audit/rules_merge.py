@@ -34,12 +34,12 @@ import ast
 from typing import Iterator
 
 from tools.repro_audit.core import AuditRule, Finding, register
-from tools.repro_audit.graph import CallGraph, CallTarget, ClassNode
+from tools.repro_audit.graph import CallGraph, ClassNode
 from tools.repro_audit.rules_counters import SCHEMA_BINDING, _schema_entries
 from tools.repro_audit.rules_parallel import (
     CONTEXT_INSTALLERS,
     HARNESS_PREFIX,
-    expand_dynamic,
+    worker_roots,
 )
 
 __all__ = ["MergeContractAudit", "COMBINER_NAMES"]
@@ -96,7 +96,9 @@ class MergeContractAudit(AuditRule):
     )
 
     def check(self, graph: CallGraph) -> Iterator[Finding]:
-        roots = self._worker_roots(graph)
+        roots = [
+            (target, trace) for _, target, trace in worker_roots(graph)
+        ]
         if not roots:
             return
         # Context installers are the harness's sanctioned setup path
@@ -106,27 +108,6 @@ class MergeContractAudit(AuditRule):
         )
         yield from self._check_partial_state(graph, reached)
         yield from self._check_counter_roundtrip(graph, reached)
-
-    # ------------------------------------------------------------------
-
-    @staticmethod
-    def _worker_roots(
-        graph: CallGraph,
-    ) -> list[tuple[CallTarget, tuple[str, ...]]]:
-        roots: list[tuple[CallTarget, tuple[str, ...]]] = []
-        for func, call in graph.dispatch_sites():
-            if not call.args:
-                continue
-            env = graph.local_types(func, func.cls)
-            dispatch_frame = f"dispatched by {func.frame(call.lineno)}"
-            targets = graph.unwrap_callable(
-                call.args[0], func, func.cls, env
-            )
-            if not targets:
-                targets = expand_dynamic(graph, call.args[0])
-            for target in targets:
-                roots.append((target, (dispatch_frame,)))
-        return roots
 
     # ------------------------------------------------------------------
     # Partial-state combiners

@@ -43,7 +43,7 @@ from tools.repro_audit.graph import (
     attr_chain,
 )
 
-__all__ = ["ParallelDeterminismAudit", "expand_dynamic"]
+__all__ = ["ParallelDeterminismAudit", "expand_dynamic", "worker_roots"]
 
 #: Call names that install ambient context (contextvar mutation).
 CONTEXT_INSTALLERS = frozenset(
@@ -89,6 +89,94 @@ def expand_dynamic(graph: CallGraph, expr: ast.expr) -> list[CallTarget]:
     return targets
 
 
+def _param_names(node: ast.FunctionDef) -> list[str]:
+    args = node.args
+    return [a.arg for a in args.posonlyargs + args.args]
+
+
+def _chase_param_workers(
+    graph: CallGraph, func: FuncNode, param: str
+) -> list[tuple[CallTarget, str]]:
+    """Worker targets bound to ``param`` by in-project callers of ``func``.
+
+    ``shard_map(worker, tasks)`` forwards a caller-supplied callable
+    into ``parallel_map_chunks``; the dispatched worker is whatever each
+    call site passes. One level of indirection is chased: the matching
+    positional/keyword argument at every call resolving to ``func`` is
+    unwrapped in the *caller's* context.
+    """
+    try:
+        position = _param_names(func.node).index(param)
+    except ValueError:
+        return []
+    if func.cls is not None:
+        # Bound-call positions are receiver-shifted; the repo's
+        # forwarding dispatchers are module-level, so keep this simple.
+        return []
+    found: list[tuple[CallTarget, str]] = []
+    for caller in graph.iter_functions():
+        env = graph.local_types(caller, caller.cls)
+        for call in graph.calls_of(caller):
+            if not any(
+                t.func.node is func.node
+                for t in graph.resolve_call(call, caller, caller.cls, env)
+            ):
+                continue
+            arg: ast.expr | None = None
+            if position < len(call.args):
+                arg = call.args[position]
+            else:
+                for kw in call.keywords:
+                    if kw.arg == param:
+                        arg = kw.value
+            if arg is None:
+                continue
+            targets = graph.unwrap_callable(arg, caller, caller.cls, env)
+            if not targets:
+                targets = expand_dynamic(graph, arg)
+            bound_frame = f"worker bound at {caller.frame(call.lineno)}"
+            found.extend((t, bound_frame) for t in targets)
+    return found
+
+
+def worker_roots(
+    graph: CallGraph,
+) -> list[tuple[FuncNode, CallTarget, tuple[str, ...]]]:
+    """``(dispatcher, worker, trace)`` per ``repro.parallel`` dispatch.
+
+    Shared by the worker-rooted rule families (RA002 determinism, RA007
+    merge contracts, RA009 races, RA010 RNG ordering). Worker
+    references are resolved directly (``unwrap_callable``), expanded
+    over concrete classes when dynamically typed (``expand_dynamic``),
+    and — when the dispatch site forwards one of its own parameters —
+    chased one call level up to the sites that bound the callable.
+    The dispatcher (the function containing the dispatch call) lets
+    callers thread worker reachability into other reachability domains
+    (RA010 extends entry-point reachability through dispatch edges).
+    """
+    roots: list[tuple[FuncNode, CallTarget, tuple[str, ...]]] = []
+    for func, call in graph.dispatch_sites():
+        if not call.args:
+            continue
+        env = graph.local_types(func, func.cls)
+        worker_expr = call.args[0]
+        dispatch_frame = f"dispatched by {func.frame(call.lineno)}"
+        targets = graph.unwrap_callable(worker_expr, func, func.cls, env)
+        if not targets:
+            targets = expand_dynamic(graph, worker_expr)
+        for target in targets:
+            roots.append((func, target, (dispatch_frame,)))
+        if targets or not isinstance(worker_expr, ast.Name):
+            continue
+        if worker_expr.id not in _param_names(func.node):
+            continue
+        for target, bound_frame in _chase_param_workers(
+            graph, func, worker_expr.id
+        ):
+            roots.append((func, target, (dispatch_frame, bound_frame)))
+    return roots
+
+
 def _rng_call(chain: list[str]) -> str | None:
     """Why this name chain is an RNG call, or None."""
     if chain[-1] in RNG_FACTORIES:
@@ -109,7 +197,9 @@ class ParallelDeterminismAudit(AuditRule):
     )
 
     def check(self, graph: CallGraph) -> Iterator[Finding]:
-        roots = self._worker_roots(graph)
+        roots = [
+            (target, trace) for _, target, trace in worker_roots(graph)
+        ]
         if not roots:
             return
         # Calling an installer IS the violation (flagged at the call
@@ -127,30 +217,6 @@ class ParallelDeterminismAudit(AuditRule):
                 if key not in seen:
                     seen.add(key)
                     yield finding
-
-    # ------------------------------------------------------------------
-
-    def _worker_roots(
-        self, graph: CallGraph
-    ) -> list[tuple[CallTarget, tuple[str, ...]]]:
-        roots: list[tuple[CallTarget, tuple[str, ...]]] = []
-        for func, call in graph.dispatch_sites():
-            if not call.args:
-                continue
-            env = graph.local_types(func, func.cls)
-            worker_expr = call.args[0]
-            dispatch_frame = f"dispatched by {func.frame(call.lineno)}"
-            targets = graph.unwrap_callable(worker_expr, func, func.cls, env)
-            if not targets:
-                targets = self._expand_dynamic(graph, worker_expr)
-            for target in targets:
-                roots.append((target, (dispatch_frame,)))
-        return roots
-
-    def _expand_dynamic(
-        self, graph: CallGraph, expr: ast.expr
-    ) -> list[CallTarget]:
-        return expand_dynamic(graph, expr)
 
     # ------------------------------------------------------------------
 

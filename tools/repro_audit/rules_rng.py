@@ -1,0 +1,390 @@
+"""RA010 — RNG consumption-order prover.
+
+Byte-identity across ``n_jobs``/``--shards`` rests on one discipline:
+every draw from the fitted generator happens on the *coordinator*, in
+*stream order*. The runtime tests check this for the configurations CI
+runs; this rule proves the shape statically, for all configurations,
+with three checks over the inventory of generator draw sites (calls on
+``rng``/``_rng``/``random_state``-named receivers and ``np.random``
+globals, the same lexicon as RA002):
+
+1. **coordinator-only** — no draw site may be both reachable from a
+   public entry point (any ``fit``/``draw``/``plan``/``sample``
+   function or method) and reachable from a dispatched parallel worker
+   (discovery shared with RA002/RA007 via
+   :func:`~tools.repro_audit.rules_parallel.worker_roots`): such a draw
+   would execute on a worker with scheduling-dependent order.
+2. **deterministic iteration** — a draw inside a loop over an
+   order-nondeterministic iterable (a set literal/comprehension or
+   ``set(...)``, unsorted ``os.listdir``/``scandir``/``iterdir``/
+   ``glob``, ``as_completed``) consumes the generator in a different
+   order every run even serially.
+3. **branch-pair equivalence** — an ``if``/``else`` whose test mentions
+   shards (``n_shards > 1`` …) must consume the rng identically on both
+   sides, or serial and sharded runs diverge at the first draw after
+   the branch. Each branch's *draw signature* — the set of normalised
+   call shapes (``draw:rng.random``, ``seed:check_random_state``)
+   collected from the branch body and everything statically reachable
+   from it — must match. Signatures are shape *sets*, not sequences:
+   static analysis cannot order draws across calls, so two branches
+   drawing the same shapes in different counts pass — the runtime
+   determinism canary (CI) covers that residue. A branch ending in
+   ``return`` with no ``else`` is paired against the statements that
+   follow the ``if`` (the fallthrough serial path).
+
+Dynamically-typed calls (``folded.merge(part)``) are not traversed, so
+a combiner's draws do not leak into a branch signature — matching the
+runtime fact that sharded fits fold partials without consuming the fit
+generator.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from tools.repro_audit.core import AuditRule, Finding, register
+from tools.repro_audit.graph import (
+    CallGraph,
+    CallTarget,
+    FuncNode,
+    attr_chain,
+)
+from tools.repro_audit.rules_parallel import (
+    CONTEXT_INSTALLERS,
+    HARNESS_PREFIX,
+    RNG_FACTORIES,
+    RNG_RECEIVERS,
+    worker_roots,
+)
+
+__all__ = ["RngOrderAudit", "ENTRY_NAMES", "draw_descriptor"]
+
+#: Public entry-point names whose reachable draws must stay coordinator-side.
+ENTRY_NAMES = frozenset({"fit", "draw", "plan", "sample"})
+
+#: Call tails producing order-nondeterministic iterables.
+_NONDET_TAILS = frozenset(
+    {"listdir", "scandir", "iterdir", "glob", "iglob", "as_completed", "set"}
+)
+
+
+def draw_descriptor(call: ast.Call) -> str | None:
+    """Normalised shape of an RNG call, or None.
+
+    Receiver names are canonicalised (any generator-named receiver
+    becomes ``rng``; ``self`` is dropped) so the same draw reached
+    inline in one branch and through a helper in the other compares
+    equal: ``self._rng.random(...)`` and ``rng.random(...)`` are both
+    ``draw:rng.random``.
+    """
+    chain = attr_chain(call.func)
+    if not chain:
+        return None
+    if chain[-1] in RNG_FACTORIES:
+        return f"seed:{chain[-1]}"
+    prefix = chain[:-1]
+    if "random" in prefix:
+        return f"draw:np.random.{chain[-1]}"
+    if any(part in RNG_RECEIVERS for part in prefix):
+        return f"draw:rng.{chain[-1]}"
+    return None
+
+
+def _is_draw(descriptor: str | None) -> bool:
+    return descriptor is not None and descriptor.startswith("draw:")
+
+
+def _shallow_walk(root: ast.AST) -> Iterator[ast.AST]:
+    """``ast.walk`` that does not descend into nested defs/lambdas."""
+    stack: list[ast.AST] = [root]
+    while stack:
+        node = stack.pop()
+        yield node
+        for child in ast.iter_child_nodes(node):
+            if isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                continue
+            stack.append(child)
+
+
+def _nondet_iterable(expr: ast.expr) -> str | None:
+    """Why iterating ``expr`` is order-nondeterministic, or None."""
+    if isinstance(expr, (ast.Set, ast.SetComp)):
+        return "a set has no defined iteration order"
+    if isinstance(expr, ast.Call):
+        chain = attr_chain(expr.func)
+        if chain and chain[-1] in _NONDET_TAILS:
+            return f"{chain[-1]}() yields elements in unspecified order"
+    return None
+
+
+@register
+class RngOrderAudit(AuditRule):
+    code = "RA010"
+    summary = (
+        "all generator draws reachable from fit/draw/plan/sample entry "
+        "points execute on the coordinator, under order-deterministic "
+        "iteration, with serial/sharded branch pairs consuming the rng "
+        "identically"
+    )
+
+    def check(self, graph: CallGraph) -> Iterator[Finding]:
+        entry_reached = self._entry_reached(graph)
+        yield from self._check_coordinator_only(graph, entry_reached)
+        yield from self._check_iteration_order(entry_reached)
+        yield from self._check_branch_pairs(graph)
+
+    # ------------------------------------------------------------------
+    # Check 1: entry-reachable draws never run on a worker
+
+    @staticmethod
+    def _entry_reached(
+        graph: CallGraph,
+    ) -> dict[tuple[int, int], tuple[CallTarget, tuple[str, ...]]]:
+        roots = [
+            (CallTarget(func, func.cls), (f"entry point {func.frame()}",))
+            for func in graph.iter_functions()
+            if func.name in ENTRY_NAMES
+        ]
+        reached = dict(graph.reachable(roots))
+        # A dispatch site fans control out of the coordinator into its
+        # workers; entry reachability must follow that edge too (the
+        # dispatched callable is data, not a call, so plain call-graph
+        # reachability stops at the dispatch). Iterate to a fixpoint in
+        # case an entry-reached worker itself dispatches.
+        dispatch_edges = worker_roots(graph)
+        while True:
+            entry_nodes = {
+                id(target.func.node): trace
+                for target, trace in reached.values()
+            }
+            extra = [
+                (target, entry_nodes[id(dispatcher.node)] + trace)
+                for dispatcher, target, trace in dispatch_edges
+                if id(dispatcher.node) in entry_nodes
+                and id(target.func.node) not in entry_nodes
+            ]
+            if not extra:
+                return reached
+            grown = False
+            for key, value in graph.reachable(extra).items():
+                if key not in reached:
+                    reached[key] = value
+                    grown = True
+            if not grown:
+                return reached
+
+    def _check_coordinator_only(
+        self, graph: CallGraph, entry_reached: dict
+    ) -> Iterator[Finding]:
+        roots = [
+            (target, trace) for _, target, trace in worker_roots(graph)
+        ]
+        if not roots:
+            return
+        worker_reached = graph.reachable(
+            roots, prune=lambda t: t.func.name in CONTEXT_INSTALLERS
+        )
+        entry_nodes = {
+            id(target.func.node): trace
+            for target, trace in entry_reached.values()
+        }
+        seen: set[tuple[str, int]] = set()
+        for target, trace in worker_reached.values():
+            func = target.func
+            if func.module.module.startswith(HARNESS_PREFIX):
+                continue
+            entry_trace = entry_nodes.get(id(func.node))
+            if entry_trace is None:
+                continue
+            for call in graph.calls_of(func):
+                descriptor = draw_descriptor(call)
+                if not _is_draw(descriptor):
+                    continue
+                key = (func.module.display_path, call.lineno)
+                if key in seen:
+                    continue
+                seen.add(key)
+                yield self.finding(
+                    func.module,
+                    call,
+                    f"generator draw ({descriptor[5:]}) in "
+                    f"{func.qualname} is reachable from "
+                    f"{entry_trace[0]} AND from a parallel worker — "
+                    "worker-side draw order is scheduling-dependent, so "
+                    "results change with n_jobs",
+                    anchor=f"{func.qualname}:worker-draw",
+                    trace=trace + (func.frame(call.lineno),),
+                )
+
+    # ------------------------------------------------------------------
+    # Check 2: draws under order-nondeterministic iteration
+
+    def _check_iteration_order(self, entry_reached: dict) -> Iterator[Finding]:
+        seen: set[tuple[str, int]] = set()
+        for target, trace in entry_reached.values():
+            func = target.func
+            for node in _shallow_walk(func.node):
+                iters: list[tuple[ast.expr, ast.AST]] = []
+                if isinstance(node, (ast.For, ast.AsyncFor)):
+                    iters.append((node.iter, node))
+                elif isinstance(
+                    node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                           ast.GeneratorExp),
+                ):
+                    iters.extend((gen.iter, node) for gen in node.generators)
+                for iter_expr, scope_node in iters:
+                    why = _nondet_iterable(iter_expr)
+                    if why is None:
+                        continue
+                    body = (
+                        scope_node.body
+                        if isinstance(scope_node, (ast.For, ast.AsyncFor))
+                        else scope_node
+                    )
+                    yield from self._flag_draws_in(
+                        func, body, why, trace, seen
+                    )
+
+    def _flag_draws_in(
+        self,
+        func: FuncNode,
+        body,
+        why: str,
+        trace: tuple[str, ...],
+        seen: set[tuple[str, int]],
+    ) -> Iterator[Finding]:
+        nodes = body if isinstance(body, list) else [body]
+        for node in nodes:
+            for sub in _shallow_walk(node):
+                if not isinstance(sub, ast.Call):
+                    continue
+                descriptor = draw_descriptor(sub)
+                if not _is_draw(descriptor):
+                    continue
+                key = (func.module.display_path, sub.lineno)
+                if key in seen:
+                    continue
+                seen.add(key)
+                yield self.finding(
+                    func.module,
+                    sub,
+                    f"generator draw ({descriptor[5:]}) inside an "
+                    f"order-nondeterministic loop in {func.qualname}: "
+                    f"{why} — the rng consumption order differs run to "
+                    "run even serially",
+                    anchor=f"{func.qualname}:nondet-iteration-draw",
+                    trace=trace + (func.frame(sub.lineno),),
+                )
+
+    # ------------------------------------------------------------------
+    # Check 3: serial-vs-sharded branch pairs draw identically
+
+    def _check_branch_pairs(self, graph: CallGraph) -> Iterator[Finding]:
+        for func in graph.iter_functions():
+            if func.module.module.startswith(HARNESS_PREFIX):
+                continue
+            yield from self._branch_pairs_in(graph, func, func.node.body)
+
+    def _branch_pairs_in(
+        self, graph: CallGraph, func: FuncNode, body: list[ast.stmt]
+    ) -> Iterator[Finding]:
+        for position, stmt in enumerate(body):
+            for nested in self._nested_bodies(stmt):
+                yield from self._branch_pairs_in(graph, func, nested)
+            if not isinstance(stmt, ast.If):
+                continue
+            if not self._mentions_shards(stmt.test):
+                continue
+            taken = list(stmt.body)
+            fallthrough = list(stmt.orelse)
+            if not fallthrough:
+                # ``if sharded: return ...`` followed by the serial
+                # path: pair the branch against the trailing
+                # statements, which only run when the test is false.
+                if not taken or not isinstance(taken[-1], (ast.Return, ast.Raise)):
+                    continue
+                fallthrough = body[position + 1:]
+            if not fallthrough:
+                continue
+            taken_sig = self._draw_signature(graph, func, taken)
+            fall_sig = self._draw_signature(graph, func, fallthrough)
+            if taken_sig == fall_sig:
+                continue
+            only_taken = sorted(taken_sig - fall_sig)
+            only_fall = sorted(fall_sig - taken_sig)
+            detail = []
+            if only_taken:
+                detail.append(
+                    f"only the sharded branch: {', '.join(only_taken)}"
+                )
+            if only_fall:
+                detail.append(
+                    f"only the serial branch: {', '.join(only_fall)}"
+                )
+            yield self.finding(
+                func.module,
+                stmt,
+                f"serial/sharded branch pair in {func.qualname} consumes "
+                f"the rng differently ({'; '.join(detail)}) — the first "
+                "draw after this branch diverges between --shards "
+                "configurations",
+                anchor=f"{func.qualname}:branch-draw-mismatch",
+                trace=(func.frame(stmt.lineno),),
+            )
+
+    @staticmethod
+    def _nested_bodies(stmt: ast.stmt) -> list[list[ast.stmt]]:
+        bodies: list[list[ast.stmt]] = []
+        for attr in ("body", "orelse", "finalbody"):
+            sub = getattr(stmt, attr, None)
+            if isinstance(sub, list) and sub and isinstance(sub[0], ast.stmt):
+                bodies.append(sub)
+        for handler in getattr(stmt, "handlers", []):
+            bodies.append(handler.body)
+        for case in getattr(stmt, "cases", []):
+            bodies.append(case.body)
+        return bodies
+
+    @staticmethod
+    def _mentions_shards(test: ast.expr) -> bool:
+        for node in ast.walk(test):
+            name = None
+            if isinstance(node, ast.Name):
+                name = node.id
+            elif isinstance(node, ast.Attribute):
+                name = node.attr
+            if name is not None and "shard" in name.lower():
+                return True
+        return False
+
+    def _draw_signature(
+        self, graph: CallGraph, func: FuncNode, body: list[ast.stmt]
+    ) -> frozenset[str]:
+        """Normalised draw/seed shapes a branch can execute.
+
+        Union of the branch's inline calls and every call in functions
+        statically reachable from the branch (resolved in the enclosing
+        function's context). Unresolvable dynamic calls contribute
+        nothing — a documented under-approximation.
+        """
+        signature: set[str] = set()
+        env = graph.local_types(func, func.cls)
+        targets: list[tuple[CallTarget, tuple[str, ...]]] = []
+        for stmt in body:
+            for node in _shallow_walk(stmt):
+                if not isinstance(node, ast.Call):
+                    continue
+                descriptor = draw_descriptor(node)
+                if descriptor is not None:
+                    signature.add(descriptor)
+                for target in graph.resolve_call(node, func, func.cls, env):
+                    targets.append((target, ()))
+        for target, _ in graph.reachable(targets).values():
+            for call in graph.calls_of(target.func):
+                descriptor = draw_descriptor(call)
+                if descriptor is not None:
+                    signature.add(descriptor)
+        return frozenset(signature)
